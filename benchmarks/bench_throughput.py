@@ -1,0 +1,58 @@
+"""Benchmark: RFC 2544-style direct throughput vs. the calibrated model.
+
+Not a paper artefact (the paper could not run RFC 2544 against a NIC
+firewall) — this bench validates the reproduction itself: the measured
+zero-loss throughput must track the closed-form capacity prediction of
+the cost model within a few percent, and the canonical operating points
+(full line rate at one rule with 1518-byte frames; ~90 k pps at one rule
+with 64-byte frames) must hold.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro import calibration
+from repro.core.testbed import DeviceKind
+from repro.core.throughput import ThroughputTester
+from repro.sim import units
+
+
+def _measure_all():
+    outcomes = {}
+    for depth in (1, 16, 64):
+        tester = ThroughputTester(DeviceKind.EFW, frame_bytes=64, rule_depth=depth)
+        outcomes[("efw", 64, depth)] = tester.search()
+    outcomes[("efw", 1518, 1)] = ThroughputTester(
+        DeviceKind.EFW, frame_bytes=1518, rule_depth=1
+    ).search()
+    outcomes[("hardened", 64, 64)] = ThroughputTester(
+        DeviceKind.HARDENED, frame_bytes=64, rule_depth=64
+    ).search()
+    return outcomes
+
+
+def test_throughput_matches_cost_model(benchmark, bench_settings):
+    outcomes = run_once(benchmark, _measure_all)
+
+    lines = []
+    for (device, frame, depth), result in outcomes.items():
+        lines.append(
+            f"{device} frame={frame} depth={depth}: {result.rate_pps:,.0f} pps"
+            + (" (wire-limited)" if result.wire_limited else "")
+        )
+    print()
+    print("\n".join(lines))
+    benchmark.extra_info["table"] = "\n".join(lines)
+
+    # Measured capacity tracks the closed-form model within 7 %.
+    for depth in (1, 16, 64):
+        measured = outcomes[("efw", 64, depth)].rate_pps
+        predicted = calibration.EFW_COST_MODEL.capacity_pps(64, depth)
+        assert abs(measured - predicted) / predicted < 0.07
+
+    # Paper §4.1: one rule sustains the full 1518-byte frame rate.
+    assert outcomes[("efw", 1518, 1)].wire_limited
+
+    # The hardened extension is wire-limited even at depth 64.
+    assert outcomes[("hardened", 64, 64)].rate_pps > 0.97 * units.MAX_FRAME_RATE_64B

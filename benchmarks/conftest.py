@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+Each figure/table benchmark runs its experiment once per round (the
+experiments are deterministic; variance across rounds only measures the
+host machine).  The experiment *outputs* are attached to the benchmark's
+``extra_info`` so `pytest benchmarks/ --benchmark-only` both times the
+regeneration and prints the regenerated rows/series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.methodology import MeasurementSettings
+
+
+@pytest.fixture
+def bench_settings():
+    """Measurement windows used by the benchmark harness.
+
+    Shorter than the experiment modules' defaults so a full benchmark
+    pass stays in the minutes range; the shapes are insensitive to the
+    window length (steady state is reached within ~100 ms of virtual
+    time).
+    """
+    return MeasurementSettings(duration=0.5, http_duration=1.0)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once per round under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Incident replay: the EFW deny-flood lockup, minute by minute.
+
+Reproduces the paper's §4.3 field observation as an operational timeline:
+
+    "During the experiments it was not possible to capture any data for
+    the EFW Deny-All case, because the card would stop processing packets
+    when it was flooded with over 1000 packets/s.  Restarting the
+    firewall agent software restored functionality to the NIC until the
+    next flood test.  No solution was found."
+
+The timeline floods a deny-all EFW at escalating rates, loses the card,
+shows that even stopping the attack does not bring it back, and recovers
+only by restarting the firewall agent — then demonstrates the ablation
+knob that patches the firmware bug out.
+
+Run:  python examples/lockup_incident.py
+"""
+
+from repro.apps.flood import FloodGenerator, FloodKind, FloodSpec
+from repro.apps.iperf import IperfClient, IperfServer
+from repro.core.testbed import DeviceKind, Testbed
+from repro.firewall import Action, PortRange, Rule, padded_ruleset
+from repro.net.packet import IpProtocol
+
+def deny_flood_policy():
+    """Deny the flood port at depth 8; allow the monitoring service after."""
+    ruleset = padded_ruleset(
+        8,
+        action_rule=Rule(
+            action=Action.DENY,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(7777),
+            symmetric=True,
+            name="deny-flood",
+        ),
+    )
+    ruleset.append(
+        Rule(
+            action=Action.ALLOW,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(5001),
+            symmetric=True,
+            name="allow-monitoring",
+        )
+    )
+    return ruleset
+
+def measure(bed) -> float:
+    session = IperfClient(bed.client).start_tcp(bed.target.ip, duration=0.5)
+    bed.run(0.55)
+    return session.result().mbps
+
+def timeline(lockup_enabled: bool) -> None:
+    label = "stock firmware" if lockup_enabled else "patched firmware (ablation)"
+    print(f"--- Incident replay: {label} ---")
+    bed = Testbed(device=DeviceKind.EFW, efw_lockup_enabled=lockup_enabled)
+    bed.install_target_policy(deny_flood_policy())
+    IperfServer(bed.target)
+    flood = FloodGenerator(bed.attacker, FloodSpec(kind=FloodKind.TCP_ACK, dst_port=7777))
+
+    print(f"t={bed.sim.now:5.1f}s  baseline bandwidth: {measure(bed):.1f} Mbps")
+
+    for rate in (500, 900, 1500):
+        if not flood.running:
+            flood.start(bed.target.ip, rate_pps=rate)
+        else:
+            flood.stop()
+            flood.start(bed.target.ip, rate_pps=rate)
+        bed.run(0.5)
+        state = "WEDGED" if bed.target.nic.wedged else "ok"
+        print(
+            f"t={bed.sim.now:5.1f}s  denied flood at {rate:5d} pps -> card {state}, "
+            f"bandwidth {measure(bed):.1f} Mbps"
+        )
+        if bed.target.nic.wedged:
+            break
+
+    flood.stop()
+    bed.run(1.0)
+    if bed.target.nic.wedged:
+        print(
+            f"t={bed.sim.now:5.1f}s  attack stopped; card still wedged, "
+            f"bandwidth {measure(bed):.1f} Mbps"
+        )
+        bed.restart_target_agent()
+        print(
+            f"t={bed.sim.now:5.1f}s  firewall agent restarted, "
+            f"bandwidth {measure(bed):.1f} Mbps"
+        )
+    else:
+        print(
+            f"t={bed.sim.now:5.1f}s  no lockup occurred; final bandwidth "
+            f"{measure(bed):.1f} Mbps"
+        )
+    print()
+
+def main() -> None:
+    timeline(lockup_enabled=True)
+    timeline(lockup_enabled=False)
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: measure an embedded firewall's bandwidth and flood the card.
+
+Builds the paper's four-host testbed (Figure 1) with a 3Com EFW on the
+target, measures iperf bandwidth at two rule-set depths, then launches a
+packet flood and watches the bandwidth collapse — the paper's
+denial-of-service result, in ~20 lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DeviceKind, FloodToleranceValidator, MeasurementSettings
+
+def main() -> None:
+    settings = MeasurementSettings(duration=1.0)
+    validator = FloodToleranceValidator(DeviceKind.EFW, settings)
+
+    print("== Available bandwidth vs. rule-set depth (EFW) ==")
+    for depth in (1, 16, 64):
+        measurement = validator.available_bandwidth(depth=depth)
+        print(f"  {depth:3d} rules: {measurement.mbps:6.1f} Mbps")
+
+    print("\n== Bandwidth while the attacker floods (one-rule policy) ==")
+    for flood_pps in (0, 20_000, 40_000, 50_000):
+        measurement = validator.bandwidth_under_flood(flood_pps)
+        verdict = "  <- denial of service" if measurement.is_dos else ""
+        print(f"  flood {flood_pps:6,d} pps: {measurement.mbps:6.1f} Mbps{verdict}")
+
+    print("\n== Minimum flood rate that denies service ==")
+    for depth in (1, 64):
+        result = validator.minimum_flood_rate(depth, probe_duration=0.5)
+        print(f"  {depth:3d} rules: {result.rate_pps:,.0f} packets/s")
+
+    print(
+        "\nAn attacker on the same 100 Mbps segment can reach ~148,800"
+        " packets/s with minimum-size frames -- every rate above is"
+        " trivially achievable (paper §4.2-4.3)."
+    )
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""An Apache-like HTTP/1.0 server.
+
+Models the paper's target application: "HTTP load tests were performed
+using http_load to repeatedly request a web page from an apache2 web
+server ... configured with the default Gentoo configuration."
+
+The server parses real request bytes, answers with a real header
+(including ``Content-Length``) followed by a size-only body, and closes
+the connection after each response (``Connection: close``), which is the
+one-fetch-per-connection behaviour http_load measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.host.host import Host
+
+#: Default served page size.  The Gentoo default index page ("It works!"
+#: era) is ~10 kB with headers; the exact value only scales the numbers.
+DEFAULT_PAGE_SIZE = 10240
+
+#: Default HTTP port.
+DEFAULT_PORT = 80
+
+
+class HttpServer:
+    """A minimal threaded-Apache stand-in."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int = DEFAULT_PORT,
+        pages: Dict[str, int] = None,
+        server_name: str = "apache2-sim/1.0",
+    ):
+        self.host = host
+        self.port = port
+        self.pages = dict(pages) if pages is not None else {"/": DEFAULT_PAGE_SIZE}
+        self.server_name = server_name
+        self.requests_served = 0
+        self.requests_bad = 0
+        self.requests_not_found = 0
+        self._listener = host.tcp.listen(port, self._accept)
+
+    def close(self) -> None:
+        """Stop accepting connections."""
+        self._listener.close()
+
+    # ------------------------------------------------------------------
+
+    def _accept(self, connection) -> None:
+        buffer = bytearray()
+
+        def on_data(conn, data: bytes, size: int) -> None:
+            buffer.extend(data)
+            if b"\r\n\r\n" not in buffer:
+                return
+            self._respond(conn, bytes(buffer))
+
+        connection.on_data = on_data
+
+    def _respond(self, connection, request: bytes) -> None:
+        request_line = request.split(b"\r\n", 1)[0]
+        parts = request_line.split()
+        if len(parts) < 2 or parts[0] != b"GET":
+            self.requests_bad += 1
+            self._send_error(connection, 400, "Bad Request")
+            return
+        path = parts[1].decode("ascii", errors="replace")
+        page_size = self.pages.get(path)
+        if page_size is None:
+            self.requests_not_found += 1
+            self._send_error(connection, 404, "Not Found")
+            return
+        self.requests_served += 1
+        header = (
+            f"HTTP/1.0 200 OK\r\n"
+            f"Server: {self.server_name}\r\n"
+            f"Content-Type: text/html\r\n"
+            f"Content-Length: {page_size}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        connection.send(len(header), header)
+        connection.send(page_size)  # body is size-only
+        connection.close()
+
+    def _send_error(self, connection, code: int, reason: str) -> None:
+        body = f"<html><body><h1>{code} {reason}</h1></body></html>".encode("ascii")
+        header = (
+            f"HTTP/1.0 {code} {reason}\r\n"
+            f"Server: {self.server_name}\r\n"
+            f"Content-Type: text/html\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        connection.send(len(header), header)
+        connection.send(len(body), body)
+        connection.close()

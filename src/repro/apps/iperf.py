@@ -1,0 +1,215 @@
+"""An iperf-like bandwidth measurement tool.
+
+Reproduces the measurement the paper used for every bandwidth number:
+"We measured bandwidth between two hosts using iperf, a cross-platform
+client-server software tool capable of measuring both TCP and UDP
+bandwidth."
+
+* TCP mode: the client opens a connection and streams bytes for a fixed
+  duration; the measured bandwidth is acknowledged payload bytes over the
+  measurement window (application goodput, like iperf reports).
+* UDP mode: the client sends datagrams at a target rate; the server
+  counts arrivals, yielding received bandwidth and loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.host.host import Host
+from repro.net.addresses import Ipv4Address
+from repro.sim.timer import PeriodicTimer
+
+#: iperf's traditional default port.
+DEFAULT_PORT = 5001
+
+#: Stream length written up-front in TCP mode.  Size-only bytes cost no
+#: memory; this just needs to exceed what 100 Mbps can move in any
+#: realistic measurement window.
+TCP_STREAM_BYTES = 1_000_000_000
+
+
+@dataclass
+class IperfResult:
+    """Outcome of one bandwidth measurement."""
+
+    bytes_transferred: int
+    duration: float
+    #: Datagrams sent/received (UDP mode only).
+    datagrams_sent: int = 0
+    datagrams_received: int = 0
+    #: True if the connection could not even be established (TCP mode).
+    connect_failed: bool = False
+
+    @property
+    def mbps(self) -> float:
+        """Measured bandwidth in megabits per second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes_transferred * 8 / self.duration / 1e6
+
+    @property
+    def loss_ratio(self) -> float:
+        """UDP datagram loss ratio."""
+        if self.datagrams_sent == 0:
+            return 0.0
+        return 1.0 - self.datagrams_received / self.datagrams_sent
+
+
+class IperfServer:
+    """The iperf server: sinks TCP streams and counts UDP datagrams."""
+
+    def __init__(self, host: Host, port: int = DEFAULT_PORT):
+        self.host = host
+        self.port = port
+        self.tcp_bytes_received = 0
+        self.udp_datagrams_received = 0
+        self.udp_bytes_received = 0
+        self.connections_accepted = 0
+        self._listener = host.tcp.listen(port, self._accept)
+        self._udp_socket = host.udp.bind(port, self._datagram)
+
+    def close(self) -> None:
+        """Stop listening (both transports)."""
+        self._listener.close()
+        self._udp_socket.close()
+
+    def _accept(self, connection) -> None:
+        self.connections_accepted += 1
+        connection.on_data = self._data
+
+    def _data(self, connection, data: bytes, size: int) -> None:
+        self.tcp_bytes_received += size
+
+    def _datagram(self, src_ip, src_port, size, data) -> None:
+        self.udp_datagrams_received += 1
+        self.udp_bytes_received += size
+
+
+class TcpIperfSession:
+    """One TCP bandwidth measurement in flight."""
+
+    def __init__(self, client_host: Host, server_ip: Ipv4Address, port: int, duration: float):
+        self.sim = client_host.sim
+        self.duration = duration
+        self.started_at = self.sim.now
+        self._bytes_at_start: Optional[int] = None
+        self._bytes_at_end: Optional[int] = None
+        self.connect_failed = False
+        self.finished = False
+        self.connection = client_host.tcp.connect(server_ip, port)
+        self.connection.on_connected = self._connected
+        self.connection.on_refused = self._refused
+        self.connection.on_closed = self._closed
+        # The measurement window is wall-clock, exactly like running
+        # ``iperf -t <duration>``: it starts now, whether or not the
+        # handshake succeeds promptly.
+        self.sim.schedule(duration, self._finish)
+
+    def _connected(self, connection) -> None:
+        self._bytes_at_start = connection.bytes_acked
+        connection.send(TCP_STREAM_BYTES)
+
+    def _refused(self, connection) -> None:
+        self.connect_failed = True
+
+    def _closed(self, connection) -> None:
+        if self._bytes_at_end is None:
+            self._bytes_at_end = connection.bytes_acked
+
+    def _finish(self) -> None:
+        self.finished = True
+        if self._bytes_at_end is None:
+            self._bytes_at_end = self.connection.bytes_acked
+        self.connection.abort()
+
+    def result(self) -> IperfResult:
+        """The measurement outcome (valid once the window has elapsed)."""
+        if not self.finished:
+            raise RuntimeError("measurement window has not elapsed yet")
+        start = self._bytes_at_start if self._bytes_at_start is not None else 0
+        end = self._bytes_at_end if self._bytes_at_end is not None else start
+        return IperfResult(
+            bytes_transferred=max(0, end - start),
+            duration=self.duration,
+            connect_failed=self.connect_failed,
+        )
+
+
+class UdpIperfSession:
+    """One UDP bandwidth measurement in flight."""
+
+    def __init__(
+        self,
+        client_host: Host,
+        server: IperfServer,
+        rate_pps: float,
+        payload_size: int,
+        duration: float,
+    ):
+        if rate_pps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_pps}")
+        self.sim = client_host.sim
+        self.server = server
+        self.duration = duration
+        self.payload_size = payload_size
+        self.datagrams_sent = 0
+        self.finished = False
+        self._received_at_start = server.udp_datagrams_received
+        self._bytes_at_start = server.udp_bytes_received
+        self._received_at_end: Optional[int] = None
+        self._bytes_at_end: Optional[int] = None
+        self._socket = client_host.udp.bind(0)
+        self._server_ip = server.host.ip
+        self._timer = PeriodicTimer(self.sim, 1.0 / rate_pps, self._send_one)
+        self._timer.start(initial_delay=0.0)
+        self.sim.schedule(duration, self._finish)
+
+    def _send_one(self) -> None:
+        self.datagrams_sent += 1
+        self._socket.send(self._server_ip, self.server.port, size=self.payload_size)
+
+    def _finish(self) -> None:
+        self.finished = True
+        self._timer.stop()
+        self._socket.close()
+        self._received_at_end = self.server.udp_datagrams_received
+        self._bytes_at_end = self.server.udp_bytes_received
+
+    def result(self) -> IperfResult:
+        """The measurement outcome (valid once the window has elapsed)."""
+        if not self.finished:
+            raise RuntimeError("measurement window has not elapsed yet")
+        return IperfResult(
+            bytes_transferred=self._bytes_at_end - self._bytes_at_start,
+            duration=self.duration,
+            datagrams_sent=self.datagrams_sent,
+            datagrams_received=self._received_at_end - self._received_at_start,
+        )
+
+
+class IperfClient:
+    """Factory for measurement sessions from a client host."""
+
+    def __init__(self, host: Host):
+        self.host = host
+
+    def start_tcp(
+        self,
+        server_ip: Ipv4Address,
+        port: int = DEFAULT_PORT,
+        duration: float = 2.0,
+    ) -> TcpIperfSession:
+        """Begin a TCP bandwidth measurement of ``duration`` seconds."""
+        return TcpIperfSession(self.host, server_ip, port, duration)
+
+    def start_udp(
+        self,
+        server: IperfServer,
+        rate_pps: float,
+        payload_size: int = 1470,
+        duration: float = 2.0,
+    ) -> UdpIperfSession:
+        """Begin a UDP bandwidth measurement of ``duration`` seconds."""
+        return UdpIperfSession(self.host, server, rate_pps, payload_size, duration)

@@ -1,0 +1,126 @@
+"""A ping-like latency measurement tool.
+
+Not part of the paper's methodology, but the natural companion to its
+latency observations (Table 1's ms/connect column): ICMP echo round-trip
+times through the device under test, with the usual min/avg/max/loss
+summary.  Useful for examples and for latency-under-flood studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import metrics
+from repro.host.host import Host
+from repro.net.addresses import Ipv4Address
+from repro.sim.timer import PeriodicTimer
+
+
+@dataclass
+class PingResult:
+    """Summary of one ping run."""
+
+    sent: int = 0
+    received: int = 0
+    rtts: List[float] = field(default_factory=list)
+
+    @property
+    def loss_ratio(self) -> float:
+        """Fraction of echo requests unanswered."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.received / self.sent
+
+    @property
+    def min_ms(self) -> float:
+        """Minimum RTT in milliseconds."""
+        return min(self.rtts) * 1e3 if self.rtts else float("nan")
+
+    @property
+    def avg_ms(self) -> float:
+        """Mean RTT in milliseconds."""
+        return metrics.mean(self.rtts) * 1e3
+
+    @property
+    def max_ms(self) -> float:
+        """Maximum RTT in milliseconds."""
+        return max(self.rtts) * 1e3 if self.rtts else float("nan")
+
+    def summary(self) -> str:
+        """The classic one-line ping statistics."""
+        return (
+            f"{self.sent} sent, {self.received} received, "
+            f"{self.loss_ratio:.0%} loss; "
+            f"rtt min/avg/max = {self.min_ms:.3f}/{self.avg_ms:.3f}/{self.max_ms:.3f} ms"
+        )
+
+
+class PingSession:
+    """A running echo stream toward one target."""
+
+    def __init__(
+        self,
+        host: Host,
+        target: Ipv4Address,
+        interval: float = 0.2,
+        payload_size: int = 56,
+        count: Optional[int] = None,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.target = target
+        self.payload_size = payload_size
+        self.count = count
+        self.result = PingResult()
+        self._outstanding: Dict[int, float] = {}  # sequence -> sent_at
+        self._sequence = 0
+        self._timer = PeriodicTimer(self.sim, interval, self._send_one)
+        self._timer.start(initial_delay=0.0)
+
+    def stop(self) -> PingResult:
+        """Stop sending and return the (current) summary."""
+        self._timer.stop()
+        return self.result
+
+    @property
+    def running(self) -> bool:
+        """True while echoes are still being sent."""
+        return self._timer.running
+
+    # ------------------------------------------------------------------
+
+    def _send_one(self) -> None:
+        if self.count is not None and self.result.sent >= self.count:
+            self._timer.stop()
+            return
+        self._sequence += 1
+        sequence = self._sequence
+        self.result.sent += 1
+        self._outstanding[sequence] = self.sim.now
+        self.host.icmp.ping(
+            self.target,
+            payload_size=self.payload_size,
+            sequence=sequence,
+            on_reply=self._reply,
+        )
+
+    def _reply(self, src_ip, identifier, sequence, size) -> None:
+        sent_at = self._outstanding.pop(sequence, None)
+        if sent_at is None:
+            return  # duplicate or late
+        self.result.received += 1
+        self.result.rtts.append(self.sim.now - sent_at)
+
+
+def ping(
+    host: Host,
+    target: Ipv4Address,
+    count: int = 5,
+    interval: float = 0.2,
+    payload_size: int = 56,
+) -> PingSession:
+    """Start a bounded ping run (returns the live session)."""
+    return PingSession(
+        host, target, interval=interval, payload_size=payload_size, count=count
+    )

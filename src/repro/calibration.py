@@ -1,0 +1,128 @@
+"""Calibration constants for every processing-cost model.
+
+This module is a dependency leaf: it imports nothing from the rest of the
+package so that NIC models, the iptables model and the experiment layer
+can all share one set of constants without import cycles.
+(:mod:`repro.core` re-exports it as ``repro.core.calibration``.)
+
+The constants realise the per-packet service-time model of DESIGN.md §5:
+
+``t(pkt) = c0 + c_rule * rules_traversed + c_byte * frame_bytes
+          (+ c_vpg0 + c_vpg_byte * inner_bytes, for VPG-matched packets)``
+
+They are calibrated so the paper's reported operating points hold on the
+simulated testbed (shape, not absolute numbers, is the contract):
+
+* EFW, 1 rule, 1518 B frames: capacity ≈ 10.2 k pps > the 8,127 fps line
+  rate, so one-rule policies sustain full bandwidth (paper §4.1).
+* EFW loses bandwidth beyond ≈16–20 rules; at 64 rules capacity with
+  1518 B frames is ≈5 k pps ≈ 61 Mbps (paper: ~50 Mbps, −45 %).
+* ADF's matcher is less efficient (same hardware): ≈2× the per-rule cost,
+  landing near 2/3 of the EFW's 64-rule bandwidth (paper: ~33 Mbps).
+* EFW/ADF, 1 rule, 64 B flood frames: capacity ≈ 90 k pps, so an
+  *allowed* flood (every flood packet also elicits a host response
+  through the same NIC processor) succeeds near 45 k pps ≈ 30 % of the
+  148,810 pps maximum frame rate (paper abstract).
+* At 64 rules the same arithmetic lands near 4.5 k pps (paper §4.3).
+* iptables on the 1 GHz host is two orders of magnitude faster per rule:
+  flat to 64 rules at 100 Mbps and unfloodable at achievable rates
+  (Hoffman et al., confirmed in paper §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NicCostModel:
+    """Per-packet service-time model for an embedded firewall NIC.
+
+    All times in seconds; sizes in bytes.
+    """
+
+    #: Fixed per-packet cost (interrupt, DMA setup, header parse).
+    c0: float
+    #: Cost per rule-table entry traversed.
+    c_rule: float
+    #: Cost per frame byte (copy through the filtering processor).
+    c_byte: float
+    #: Fixed cost for a VPG cryptographic operation (key schedule, MAC).
+    c_vpg0: float = 0.0
+    #: Per-inner-byte cost of VPG encrypt/decrypt.
+    c_vpg_byte: float = 0.0
+
+    def service_time(
+        self,
+        frame_bytes: int,
+        rules_traversed: int,
+        vpg_bytes: int = 0,
+        vpg_matched: bool = False,
+    ) -> float:
+        """Service time for one packet under this model."""
+        cost = self.c0 + self.c_rule * rules_traversed + self.c_byte * frame_bytes
+        if vpg_matched:
+            cost += self.c_vpg0 + self.c_vpg_byte * vpg_bytes
+        return cost
+
+    def capacity_pps(
+        self, frame_bytes: int, rules_traversed: int, vpg_matched: bool = False
+    ) -> float:
+        """Closed-form max packets/second for uniform traffic."""
+        return 1.0 / self.service_time(
+            frame_bytes,
+            rules_traversed,
+            vpg_bytes=frame_bytes,
+            vpg_matched=vpg_matched,
+        )
+
+
+_US = 1e-6
+
+#: The 3Com EFW's filtering processor (3CR990-class hardware).
+EFW_COST_MODEL = NicCostModel(
+    c0=5.7 * _US,
+    c_rule=1.47 * _US,
+    c_byte=0.06 * _US,
+)
+
+#: The ADF: same hardware platform, less efficient packet filtering
+#: algorithm (paper §5), plus VPG encryption costs.
+ADF_COST_MODEL = NicCostModel(
+    c0=5.7 * _US,
+    c_rule=2.76 * _US,
+    c_byte=0.06 * _US,
+    c_vpg0=20.0 * _US,
+    c_vpg_byte=0.10 * _US,
+)
+
+#: A standard non-filtering NIC (Intel EEPro 100-class): wire-speed.
+STANDARD_NIC_COST_MODEL = NicCostModel(
+    c0=1.0 * _US,
+    c_rule=0.0,
+    c_byte=0.0,
+)
+
+#: netfilter/iptables on the 1 GHz Pentium III host.
+IPTABLES_COST_MODEL = NicCostModel(
+    c0=1.2 * _US,
+    c_rule=0.02 * _US,
+    c_byte=0.002 * _US,
+)
+
+#: Receive-ring depth of the embedded NICs (frames).  Small on purpose —
+#: the 3CR990's on-card buffering is limited, and the ring bound is what
+#: converts sustained overload into loss.
+EMBEDDED_NIC_RING_SIZE = 64
+
+#: Host softirq backlog for the iptables path (Linux netdev_max_backlog
+#: era-appropriate default is 300).
+IPTABLES_BACKLOG = 300
+
+#: Sustained deny-drop rate (packets/s) above which the EFW's firmware
+#: wedges in the deny-all configuration (paper §4.3: "the card would stop
+#: processing packets when it was flooded with over 1000 packets/s").
+EFW_LOCKUP_DENY_RATE = 1000.0
+
+#: Window over which the deny-drop rate is estimated for the lockup fault.
+EFW_LOCKUP_WINDOW = 0.25

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: a flood-tolerance validation methodology.
+
+Public API:
+
+* :class:`~repro.core.testbed.Testbed` — the four-host Figure 1 network,
+* :class:`~repro.core.methodology.FloodToleranceValidator` — the
+  measurement methodology (bandwidth vs. depth, bandwidth under flood,
+  minimum DoS flood rate, HTTP impact, deployability verdict),
+* :mod:`~repro.core.metrics` — DoS criteria and statistics,
+* :mod:`~repro.core.sweeps` and :mod:`~repro.core.reports` — experiment
+  plumbing,
+* ``repro.core.calibration`` — re-export of the cost-model constants.
+"""
+
+from repro import calibration
+from repro.core import metrics, reports
+from repro.core.methodology import (
+    BandwidthMeasurement,
+    FloodToleranceValidator,
+    HttpMeasurement,
+    LatencyMeasurement,
+    MeasurementSettings,
+    MinimumFloodResult,
+    ValidationReport,
+    VPG_MSS,
+)
+from repro.core.sweeps import Sweep, SweepPoint
+from repro.core.throughput import ThroughputResult, ThroughputTester, TrialResult
+from repro.core.testbed import STATIONS, DeviceKind, Testbed
+
+__all__ = [
+    "BandwidthMeasurement",
+    "DeviceKind",
+    "FloodToleranceValidator",
+    "HttpMeasurement",
+    "LatencyMeasurement",
+    "MeasurementSettings",
+    "MinimumFloodResult",
+    "STATIONS",
+    "Sweep",
+    "SweepPoint",
+    "Testbed",
+    "ThroughputResult",
+    "ThroughputTester",
+    "TrialResult",
+    "VPG_MSS",
+    "ValidationReport",
+    "calibration",
+    "metrics",
+    "reports",
+]

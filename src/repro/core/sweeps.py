@@ -1,0 +1,78 @@
+"""A small parameter-sweep runner.
+
+Experiments are grids of independent measurements (device × depth ×
+flood-rate ...).  :class:`Sweep` runs a callable over a parameter grid,
+records results with their parameters, and supports progress reporting —
+the shared machinery behind every figure/table module in
+:mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameters, result) record."""
+
+    params: Tuple[Tuple[str, Any], ...]
+    result: Any
+
+    def param(self, name: str) -> Any:
+        """Value of one swept parameter."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+
+@dataclass
+class Sweep:
+    """Runs ``fn(**params)`` over the cross product of parameter values.
+
+    Examples
+    --------
+    >>> sweep = Sweep(lambda a, b: a * b)
+    >>> points = sweep.run({"a": [1, 2], "b": [10]})
+    >>> [(p.param("a"), p.result) for p in points]
+    [(1, 10), (2, 20)]
+    """
+
+    fn: Callable[..., Any]
+    progress: Optional[Callable[[str], None]] = None
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def run(self, grid: Dict[str, Iterable[Any]]) -> List[SweepPoint]:
+        """Evaluate over the grid's cross product (insertion order)."""
+        names = list(grid)
+        combos = list(itertools.product(*(list(grid[name]) for name in names)))
+        for index, combo in enumerate(combos, start=1):
+            params = tuple(zip(names, combo))
+            if self.progress is not None:
+                label = ", ".join(f"{key}={value}" for key, value in params)
+                self.progress(f"[{index}/{len(combos)}] {label}")
+            result = self.fn(**dict(params))
+            self.points.append(SweepPoint(params=params, result=result))
+        return list(self.points)
+
+    def series(
+        self,
+        x_param: str,
+        y_of: Callable[[Any], float],
+        where: Optional[Dict[str, Any]] = None,
+    ) -> List[Tuple[Any, float]]:
+        """Extract an (x, y) series from recorded points.
+
+        ``where`` filters points by exact parameter values.
+        """
+        selected: Sequence[SweepPoint] = self.points
+        if where:
+            selected = [
+                point
+                for point in selected
+                if all(point.param(key) == value for key, value in where.items())
+            ]
+        return [(point.param(x_param), y_of(point.result)) for point in selected]

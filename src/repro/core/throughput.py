@@ -1,0 +1,168 @@
+"""RFC 2544-style direct throughput measurement.
+
+The paper wanted to measure maximum throughput directly "via the methods
+detailed in RFC 2544" but couldn't: those methods suit two-interface
+forwarding devices, not single-interface NIC firewalls.  On the simulated
+testbed we *can* do the single-interface analogue cleanly: offer a
+unidirectional UDP stream of fixed-size frames at a candidate rate, count
+what the protected host's application actually receives, and binary-search
+the highest rate whose loss stays under a tolerance.
+
+This gives the quantity the paper had to infer indirectly — the device's
+maximum packet rate as a function of frame size and rule depth — and the
+tests use it to validate the calibrated cost model against the closed-form
+capacity prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.testbed import DeviceKind, Testbed
+from repro.firewall.builders import padded_ruleset
+from repro.firewall.rules import Action, PortRange, Rule
+from repro.net.packet import IpProtocol
+from repro.sim import units
+
+#: UDP receiver port on the target.
+STREAM_PORT = 6001
+
+#: Ethernet + IPv4 + UDP overhead inside a frame.
+_FRAME_OVERHEAD = units.ETHERNET_HEADER + units.ETHERNET_FCS + 20 + 8
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One offered-load trial."""
+
+    offered_pps: float
+    sent: int
+    received: int
+
+    @property
+    def loss_ratio(self) -> float:
+        """Fraction of offered frames not delivered to the application."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.received / self.sent
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of a throughput search."""
+
+    device: DeviceKind
+    frame_bytes: int
+    rule_depth: int
+    #: Highest offered rate (packets/s) with loss within tolerance.
+    rate_pps: float
+    #: True when the wire's maximum frame rate was sustained.
+    wire_limited: bool
+
+    @property
+    def mbps(self) -> float:
+        """Throughput in Mbps of frame bytes (excluding preamble/IFG)."""
+        return self.rate_pps * self.frame_bytes * 8 / 1e6
+
+
+class ThroughputTester:
+    """Binary-searches a device's zero-loss throughput.
+
+    Parameters
+    ----------
+    device:
+        Device under test on the target host.
+    frame_bytes:
+        Ethernet frame size for the stream (64 or 1518 in RFC 2544's
+        canonical set).
+    rule_depth:
+        Depth of the allow rule covering the stream.
+    trial_duration:
+        Seconds of virtual time per offered-load trial.
+    loss_tolerance:
+        Maximum acceptable loss ratio (RFC 2544 throughput is zero-loss;
+        a small tolerance absorbs boundary effects of finite trials).
+    """
+
+    def __init__(
+        self,
+        device: DeviceKind,
+        frame_bytes: int = units.ETHERNET_MIN_FRAME,
+        rule_depth: int = 1,
+        trial_duration: float = 0.3,
+        loss_tolerance: float = 0.002,
+        seed: int = 1,
+        **testbed_options,
+    ):
+        if frame_bytes < units.ETHERNET_MIN_FRAME or frame_bytes > units.ETHERNET_MAX_FRAME:
+            raise ValueError(f"frame size out of Ethernet range: {frame_bytes}")
+        self.device = device
+        self.frame_bytes = frame_bytes
+        self.rule_depth = rule_depth
+        self.trial_duration = trial_duration
+        self.loss_tolerance = loss_tolerance
+        self.seed = seed
+        self.testbed_options = dict(testbed_options)
+        self.payload_size = max(0, frame_bytes - _FRAME_OVERHEAD)
+
+    # ------------------------------------------------------------------
+
+    def trial(self, offered_pps: float) -> TrialResult:
+        """Run one offered-load trial on a fresh testbed."""
+        bed = Testbed(device=self.device, seed=self.seed, **self.testbed_options)
+        ruleset = padded_ruleset(
+            self.rule_depth,
+            action_rule=Rule(
+                action=Action.ALLOW,
+                protocol=IpProtocol.UDP,
+                dst_ports=PortRange.single(STREAM_PORT),
+                name="stream",
+            ),
+        )
+        bed.install_target_policy(ruleset)
+        received = [0]
+        bed.target.udp.bind(STREAM_PORT, lambda *args: received.__setitem__(0, received[0] + 1))
+        sender = bed.client.udp.bind(0)
+        sent = [0]
+
+        from repro.sim.timer import PeriodicTimer
+
+        def send_one() -> None:
+            sent[0] += 1
+            sender.send(bed.target.ip, STREAM_PORT, size=self.payload_size)
+
+        timer = PeriodicTimer(bed.sim, 1.0 / offered_pps, send_one)
+        timer.start(initial_delay=0.0)
+        bed.run(self.trial_duration)
+        timer.stop()
+        # Drain in-flight frames so the tail is not counted as loss.
+        bed.run(0.05)
+        return TrialResult(offered_pps=offered_pps, sent=sent[0], received=received[0])
+
+    def search(self, relative_tolerance: float = 0.03) -> ThroughputResult:
+        """Find the highest in-tolerance rate up to the wire maximum."""
+        wire_max = units.max_frame_rate(units.FAST_ETHERNET_BPS, self.frame_bytes)
+        top = self.trial(wire_max)
+        if top.loss_ratio <= self.loss_tolerance:
+            return ThroughputResult(
+                device=self.device,
+                frame_bytes=self.frame_bytes,
+                rule_depth=self.rule_depth,
+                rate_pps=wire_max,
+                wire_limited=True,
+            )
+        low, high = 0.0, wire_max
+        while high - low > relative_tolerance * high:
+            middle = (low + high) / 2
+            outcome = self.trial(middle)
+            if outcome.loss_ratio <= self.loss_tolerance:
+                low = middle
+            else:
+                high = middle
+        return ThroughputResult(
+            device=self.device,
+            frame_bytes=self.frame_bytes,
+            rule_depth=self.rule_depth,
+            rate_pps=low,
+            wire_limited=False,
+        )

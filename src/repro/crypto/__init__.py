@@ -1,0 +1,35 @@
+"""Cryptographic substrate for Virtual Private Groups.
+
+.. warning::
+   The cipher here is a *toy* Feistel network standing in for the ADF's
+   hardware 3DES.  It genuinely transforms and authenticates bytes — so
+   the VPG data path, lazy-decryption control flow, and tamper-rejection
+   semantics are real — but it offers no meaningful cryptographic
+   strength and must never be used outside this simulator.
+"""
+
+from repro.crypto.feistel import BLOCK_SIZE, FeistelCipher
+from repro.crypto.keys import KEY_SIZE, VpgKeyStore
+from repro.crypto.mac import TAG_SIZE, compute_tag, verify_tag
+from repro.crypto.vpg import (
+    VpgAuthError,
+    VpgContext,
+    VpgDecodeError,
+    VpgError,
+    VpgSealedPayload,
+)
+
+__all__ = [
+    "BLOCK_SIZE",
+    "FeistelCipher",
+    "KEY_SIZE",
+    "TAG_SIZE",
+    "VpgAuthError",
+    "VpgContext",
+    "VpgDecodeError",
+    "VpgError",
+    "VpgKeyStore",
+    "VpgSealedPayload",
+    "compute_tag",
+    "verify_tag",
+]

@@ -1,0 +1,45 @@
+"""VPG key management.
+
+The policy server (see :mod:`repro.policy`) generates one shared key per
+VPG and distributes it to the member NICs.  Keys are derived
+deterministically from a master secret so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+from repro.crypto.vpg import VpgContext
+
+#: Derived key length in bytes.
+KEY_SIZE = 24  # 3DES-sized, matching the hardware the ADF used
+
+
+class VpgKeyStore:
+    """Derives and caches per-VPG keys from a master secret."""
+
+    def __init__(self, master_secret: bytes = b"dpasa-master-secret"):
+        if not master_secret:
+            raise ValueError("master secret must be non-empty")
+        self.master_secret = bytes(master_secret)
+        self._keys: Dict[int, bytes] = {}
+
+    def key_for(self, vpg_id: int) -> bytes:
+        """The (derived) key for ``vpg_id``."""
+        cached = self._keys.get(vpg_id)
+        if cached is not None:
+            return cached
+        material = hashlib.sha256(
+            self.master_secret + b":vpg:" + str(vpg_id).encode("ascii")
+        ).digest()[:KEY_SIZE]
+        self._keys[vpg_id] = material
+        return material
+
+    def context_for(self, vpg_id: int) -> VpgContext:
+        """A fresh crypto context for ``vpg_id`` (one per NIC membership)."""
+        return VpgContext(vpg_id, self.key_for(vpg_id))
+
+    def known_vpgs(self) -> list:
+        """VPG ids with derived keys so far (sorted)."""
+        return sorted(self._keys)

@@ -1,0 +1,199 @@
+"""Virtual Private Group (VPG) packet encapsulation.
+
+A VPG is an encrypted host-to-host channel enforced by the ADF NIC
+(Carney et al.; Markham et al.).  Our encapsulation is ESP-like:
+
+    outer IPv4 (protocol 50)
+      | SPI (4) | sequence (4) |          -- clear header
+      | ciphertext of inner headers + real payload bytes |
+      | size-only inner payload tail (zeros on the wire) |
+      | 8-byte truncated-HMAC tag |
+
+The inner packet's *headers* (and any real payload bytes, e.g. HTTP
+headers) are genuinely encrypted with the group key; payload bytes that
+the simulation models size-only are represented by an explicit
+``inner payload tail`` length, carried in the clear header, so the outer
+packet has the correct wire size without materialising buffers.  The tag
+covers the clear header and the ciphertext, giving integrity and sender
+authentication; confidentiality of the headers hides the protected flow's
+ports from on-path observers, as the real VPGs do.
+
+The *time cost* of the cryptography is not modelled here: the ADF NIC
+charges ``c_vpg0 + c_vpg_byte * inner_bytes`` of simulated service time
+per VPG packet (see :mod:`repro.calibration`).
+
+The inner packet must carry a structurally-modelled L4 payload (TCP, UDP
+or ICMP): decapsulation re-parses the decrypted header bytes, and a raw
+payload that does not decode as its declared protocol raises
+:class:`VpgDecodeError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from repro.crypto.feistel import FeistelCipher
+from repro.crypto.mac import TAG_SIZE, compute_tag, verify_tag
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpProtocol, Ipv4Packet
+
+#: SPI + sequence number.
+VPG_CLEAR_HEADER = 8
+
+#: Clear trailer carrying the size-only payload tail length.
+VPG_TAIL_FIELD = 2
+
+
+class VpgError(Exception):
+    """Base class for VPG processing failures."""
+
+
+class VpgAuthError(VpgError):
+    """Authentication tag verification failed (tamper or wrong key)."""
+
+
+class VpgDecodeError(VpgError):
+    """Malformed VPG payload."""
+
+
+@dataclass
+class VpgSealedPayload:
+    """The L4 payload of an encrypted VPG packet."""
+
+    spi: int
+    sequence: int
+    ciphertext: bytes
+    #: Size-only inner payload bytes not present in the ciphertext.
+    inner_tail: int
+    tag: bytes
+
+    @property
+    def size(self) -> int:
+        """Wire size of the sealed payload."""
+        return (
+            VPG_CLEAR_HEADER
+            + VPG_TAIL_FIELD
+            + len(self.ciphertext)
+            + self.inner_tail
+            + TAG_SIZE
+        )
+
+    def header_bytes(self) -> bytes:
+        """The clear header (covered by the tag)."""
+        return struct.pack("!IIH", self.spi, self.sequence & 0xFFFFFFFF, self.inner_tail)
+
+    def to_bytes(self) -> bytes:
+        """Wire representation (size-only tail as zeros)."""
+        return (
+            self.header_bytes()
+            + self.ciphertext
+            + b"\x00" * self.inner_tail
+            + self.tag
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"VPG spi={self.spi} seq={self.sequence} ({self.size}B)"
+
+
+class VpgContext:
+    """Encrypt/decrypt state for one VPG membership.
+
+    Parameters
+    ----------
+    vpg_id:
+        The group identifier, doubling as the on-wire SPI.
+    key:
+        The shared group key (distributed by the policy server).
+    """
+
+    def __init__(self, vpg_id: int, key: bytes):
+        if vpg_id < 0 or vpg_id > 0xFFFFFFFF:
+            raise ValueError(f"vpg_id out of range: {vpg_id}")
+        self.vpg_id = vpg_id
+        self.key = bytes(key)
+        self.cipher = FeistelCipher(self.key)
+        self._tx_sequence = 0
+        # Counters
+        self.packets_sealed = 0
+        self.packets_opened = 0
+        self.auth_failures = 0
+
+    # ------------------------------------------------------------------
+
+    def seal(self, inner: Ipv4Packet, outer_src: Ipv4Address, outer_dst: Ipv4Address) -> Ipv4Packet:
+        """Encrypt ``inner`` into an outer VPG packet."""
+        self._tx_sequence += 1
+        sequence = self._tx_sequence
+        trimmed, tail = _split_size_only_tail(inner)
+        plaintext = trimmed.to_bytes()
+        ciphertext = self.cipher.encrypt(plaintext, sequence=sequence)
+        sealed = VpgSealedPayload(
+            spi=self.vpg_id,
+            sequence=sequence,
+            ciphertext=ciphertext,
+            inner_tail=tail,
+            tag=b"\x00" * TAG_SIZE,
+        )
+        sealed.tag = compute_tag(self.key, sealed.header_bytes() + ciphertext)
+        self.packets_sealed += 1
+        return Ipv4Packet(
+            src=outer_src,
+            dst=outer_dst,
+            payload=sealed,
+            protocol=IpProtocol.VPG,
+            identification=inner.identification,
+        )
+
+    def open(self, outer: Ipv4Packet) -> Ipv4Packet:
+        """Authenticate and decrypt an outer VPG packet back to the inner one."""
+        sealed = outer.payload
+        if not isinstance(sealed, VpgSealedPayload):
+            raise VpgDecodeError("packet does not carry a VPG payload")
+        if sealed.spi != self.vpg_id:
+            raise VpgDecodeError(
+                f"SPI mismatch: packet {sealed.spi}, context {self.vpg_id}"
+            )
+        if not verify_tag(self.key, sealed.header_bytes() + sealed.ciphertext, sealed.tag):
+            self.auth_failures += 1
+            raise VpgAuthError(f"authentication failed for spi={sealed.spi}")
+        try:
+            plaintext = self.cipher.decrypt(sealed.ciphertext, sequence=sealed.sequence)
+            inner = Ipv4Packet.from_bytes(plaintext)
+        except ValueError as exc:
+            raise VpgDecodeError(f"inner packet decode failed: {exc}") from exc
+        self.packets_opened += 1
+        return _restore_size_only_tail(inner, sealed.inner_tail)
+
+
+def _split_size_only_tail(inner: Ipv4Packet):
+    """Separate the size-only payload tail from the bytes to encrypt.
+
+    Returns a copy of ``inner`` whose L4 payload length covers only the
+    real data bytes, plus the number of size-only tail bytes removed.
+    """
+    payload = inner.payload
+    declared = getattr(payload, "payload_size", None)
+    if declared is None:
+        # RawPayload: encrypt its real bytes, carry the remainder as tail.
+        real = len(payload.data)
+        tail = payload.size - real
+        trimmed_payload = replace(payload, size=real)
+        return replace(inner, payload=trimmed_payload), tail
+    real = len(payload.data)
+    tail = declared - real
+    trimmed_payload = replace(payload, payload_size=real)
+    return replace(inner, payload=trimmed_payload), tail
+
+
+def _restore_size_only_tail(inner: Ipv4Packet, tail: int) -> Ipv4Packet:
+    """Re-extend the inner packet's payload by the size-only tail."""
+    if tail == 0:
+        return inner
+    payload = inner.payload
+    if hasattr(payload, "payload_size"):
+        restored = replace(payload, payload_size=payload.payload_size + tail)
+    else:
+        restored = replace(payload, size=payload.size + tail)
+    return replace(inner, payload=restored)

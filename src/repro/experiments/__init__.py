@@ -1,0 +1,10 @@
+"""Experiment modules: one per figure/table of the paper, plus ablations.
+
+Run them via ``python -m repro.experiments [fig2|fig3a|fig3b|table1|ablations|all]``
+(add ``--quick`` for reduced grids), or import and call each module's
+``run()`` for programmatic access.
+"""
+
+from repro.experiments.runner import REGISTRY, experiment_ids, run_experiment
+
+__all__ = ["REGISTRY", "experiment_ids", "run_experiment"]

@@ -1,0 +1,85 @@
+"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--json DIR]``."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments.figures import plot_result
+from repro.experiments.results import write_json
+from repro.experiments.runner import (
+    experiment_ids,
+    render_result,
+    run_experiment,
+    run_experiment_result,
+)
+
+
+def main(argv=None) -> int:
+    """Run the requested experiments and print their tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the figures and tables of 'Barbarians in the Gate' "
+            "(DSN 2006) on the simulated testbed."
+        ),
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        default=["all"],
+        help=f"experiment ids: {', '.join(experiment_ids())}, or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced grids and windows (minutes instead of tens of minutes)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's raw result to DIR/<id>.json",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="print ASCII charts for the figure experiments",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress per-measurement progress lines",
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.ids
+    if "all" in selected:
+        selected = experiment_ids()
+    if args.json is not None:
+        os.makedirs(args.json, exist_ok=True)
+
+    progress = None if args.no_progress else lambda line: print(f"  .. {line}", file=sys.stderr)
+    for experiment_id in selected:
+        started = time.time()
+        print(f"== {experiment_id} ==", file=sys.stderr)
+        result = run_experiment_result(experiment_id, quick=args.quick, progress=progress)
+        elapsed = time.time() - started
+        print(render_result(result))
+        if args.plot:
+            chart = plot_result(experiment_id, result)
+            if chart is not None:
+                print()
+                print(chart)
+        if args.json is not None:
+            path = os.path.join(args.json, f"{experiment_id}.json")
+            write_json(result, path)
+            print(f"(wrote {path})", file=sys.stderr)
+        print(f"({experiment_id} took {elapsed:.1f}s)\n", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

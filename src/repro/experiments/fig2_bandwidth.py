@@ -1,0 +1,84 @@
+"""Figure 2 — Available bandwidth as rules are added to the rule-set.
+
+iperf TCP bandwidth between client and target with the action rule at
+increasing depth, for the EFW, the ADF, the ADF with VPG rule-sets, and
+iptables.  Paper shape: no significant loss below ~20 rules; at 64 rules
+the EFW drops to ~50 Mbps (−45 %) and the ADF to ~33 Mbps (−65 %);
+iptables is flat; VPGs cost a large constant hit but *additional
+non-matching VPGs are nearly free* (lazy decryption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
+from repro.core.reports import format_table
+from repro.core.testbed import DeviceKind
+
+#: Action-rule depths measured (the paper's x-axis reaches 64).
+DEFAULT_DEPTHS = (1, 2, 4, 8, 16, 24, 32, 48, 64)
+
+#: VPG counts measured (each VPG occupies two rule-table entries).
+DEFAULT_VPG_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class Fig2Result:
+    """All series of Figure 2: device/variant -> [(depth, Mbps)]."""
+
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        """The figure as an aligned text table (one row per depth)."""
+        depths = sorted({x for points in self.series.values() for x, _ in points})
+        names = list(self.series)
+        rows = []
+        for depth in depths:
+            row: List[object] = [depth]
+            for name in names:
+                value = dict(self.series[name]).get(depth)
+                row.append(f"{value:.1f}" if value is not None else "-")
+            rows.append(row)
+        return format_table(
+            ["rules traversed"] + [f"{name} (Mbps)" for name in names],
+            rows,
+            title="Figure 2: available bandwidth vs. rule-set depth",
+        )
+
+
+def run(
+    depths: Tuple[int, ...] = DEFAULT_DEPTHS,
+    vpg_counts: Tuple[int, ...] = DEFAULT_VPG_COUNTS,
+    settings: Optional[MeasurementSettings] = None,
+    progress=None,
+) -> Fig2Result:
+    """Regenerate Figure 2."""
+    settings = settings if settings is not None else MeasurementSettings()
+    result = Fig2Result()
+
+    for device, label in (
+        (DeviceKind.EFW, "EFW"),
+        (DeviceKind.ADF, "ADF"),
+        (DeviceKind.IPTABLES, "iptables"),
+    ):
+        validator = FloodToleranceValidator(device, settings)
+        points = []
+        for depth in depths:
+            if progress is not None:
+                progress(f"fig2: {label} depth={depth}")
+            measurement = validator.available_bandwidth(depth=depth)
+            points.append((depth, measurement.mbps))
+        result.series[label] = points
+
+    validator = FloodToleranceValidator(DeviceKind.ADF, settings)
+    points = []
+    for vpg_count in vpg_counts:
+        if progress is not None:
+            progress(f"fig2: ADF(VPG) vpgs={vpg_count}")
+        measurement = validator.available_bandwidth(vpg_count=vpg_count)
+        # Each VPG is a pair of rule entries: depth = 2 * count.
+        points.append((2 * vpg_count, measurement.mbps))
+    result.series["ADF (VPG)"] = points
+    return result

@@ -1,0 +1,72 @@
+"""ASCII renderings of the figure experiments.
+
+The paper's Figures 2 and 3(a,b) are line charts; for terminal workflows
+these helpers turn the experiment result objects into quick ASCII plots
+(using :func:`repro.core.reports.ascii_plot`) so the *shape* — knees,
+crossovers, collapses — is visible without leaving the shell.  The
+``--plot`` flag of ``python -m repro.experiments`` prints them under the
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.reports import ascii_plot
+
+
+def plot_fig2(result) -> str:
+    """Figure 2 as an ASCII chart (bandwidth vs. depth)."""
+    series = [(name, points) for name, points in result.series.items()]
+    return ascii_plot(
+        series,
+        x_label="rules traversed",
+        y_label="bandwidth (Mbps)",
+    )
+
+
+def plot_fig3a(result) -> str:
+    """Figure 3a as an ASCII chart (bandwidth vs. flood rate)."""
+    series = [(name, points) for name, points in result.series.items()]
+    return ascii_plot(
+        series,
+        x_label="flood (pps)",
+        y_label="bandwidth (Mbps)",
+    )
+
+
+def plot_fig3b(result) -> str:
+    """Figure 3b as an ASCII chart (measurable series only)."""
+    series = []
+    for name, points in result.series.items():
+        numeric = [
+            (depth, outcome.rate_pps)
+            for depth, outcome in points
+            if outcome.measurable
+        ]
+        if numeric:
+            series.append((name, numeric))
+    if not series:
+        return "(no measurable series)"
+    return ascii_plot(
+        series,
+        x_label="rule depth",
+        y_label="min DoS flood (pps)",
+    )
+
+
+#: Experiment id -> plotting function (experiments without a natural
+#: line-chart rendering are absent).
+PLOTTERS = {
+    "fig2": plot_fig2,
+    "fig3a": plot_fig3a,
+    "fig3b": plot_fig3b,
+}
+
+
+def plot_result(experiment_id: str, result: Any) -> Optional[str]:
+    """ASCII plot for an experiment's result, or None if not plottable."""
+    plotter = PLOTTERS.get(experiment_id)
+    if plotter is None:
+        return None
+    return plotter(result)

@@ -1,0 +1,63 @@
+"""Result serialization: experiment outputs as JSON.
+
+Every experiment module returns a small dataclass tree (series lists,
+measurement records).  :func:`serialize` converts any of them to plain
+JSON-compatible structures so runs can be archived, diffed between
+revisions, and post-processed outside Python — the machine-readable
+counterpart of the ``table()`` renderings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import math
+from typing import Any
+
+
+def serialize(value: Any) -> Any:
+    """Recursively convert dataclasses/enums/tuples to JSON-safe values.
+
+    * dataclasses become dicts (with a ``_type`` tag for readability),
+    * enums become their ``value``,
+    * NaN/inf floats become None (JSON has no spelling for them),
+    * dict keys are stringified when not already strings.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        record = {"_type": type(value).__name__}
+        for field in dataclasses.fields(value):
+            record[field.name] = serialize(getattr(value, field.name))
+        return record
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): serialize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [serialize(item) for item in value]
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return None
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    # Objects with their own dict-ish content (e.g. result aggregates
+    # that are not dataclasses) fall back to their __dict__.
+    if hasattr(value, "__dict__"):
+        return {
+            "_type": type(value).__name__,
+            **{key: serialize(item) for key, item in vars(value).items()},
+        }
+    return str(value)
+
+
+def to_json(value: Any, indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(serialize(value), indent=indent, sort_keys=True)
+
+
+def write_json(value: Any, path: str) -> None:
+    """Serialize ``value`` and write it to ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(to_json(value))
+        stream.write("\n")

@@ -1,0 +1,199 @@
+"""Experiment registry and the quick/full presets.
+
+``python -m repro.experiments <id>`` regenerates one artefact; ids are
+``fig2``, ``fig3a``, ``fig3b``, ``table1``, ``ablations``, ``extension``
+or ``all``.  The ``--quick`` preset trims grids and windows so a full
+pass finishes in a few minutes; the full preset matches the modules'
+defaults.  ``--json DIR`` additionally archives each experiment's raw
+result as JSON (see :mod:`repro.experiments.results`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.methodology import MeasurementSettings
+from repro.experiments import (
+    ablations,
+    extension_hardened,
+    fig2_bandwidth,
+    fig3a_flood,
+    fig3b_minflood,
+    table1_http,
+)
+
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment.
+
+    ``run_full``/``run_quick`` return the experiment's *result object*;
+    :func:`render_result` turns any of them into printable tables.
+    """
+
+    experiment_id: str
+    title: str
+    run_full: Callable[[Progress], Any]
+    run_quick: Callable[[Progress], Any]
+
+
+def render_result(result: Any) -> str:
+    """Render a result object (or list of them) as text tables."""
+    if isinstance(result, str):
+        return result
+    if isinstance(result, list):
+        return "\n\n".join(render_result(item) for item in result)
+    return result.table()
+
+
+def _fig2_full(progress):
+    return fig2_bandwidth.run(progress=progress)
+
+
+def _fig2_quick(progress):
+    return fig2_bandwidth.run(
+        depths=(1, 8, 16, 32, 64),
+        vpg_counts=(1, 4),
+        settings=MeasurementSettings(duration=0.5),
+        progress=progress,
+    )
+
+
+def _fig3a_full(progress):
+    return fig3a_flood.run(progress=progress)
+
+
+def _fig3a_quick(progress):
+    return fig3a_flood.run(
+        flood_rates=(0, 10000, 20000, 30000, 40000, 50000),
+        settings=MeasurementSettings(duration=0.5),
+        repetitions=1,
+        progress=progress,
+    )
+
+
+def _fig3b_full(progress):
+    return fig3b_minflood.run(progress=progress)
+
+
+def _fig3b_quick(progress):
+    return fig3b_minflood.run(
+        depths=(1, 16, 64),
+        settings=MeasurementSettings(duration=0.5),
+        probe_duration=0.5,
+        progress=progress,
+    )
+
+
+def _table1_full(progress):
+    return table1_http.run(progress=progress)
+
+
+def _table1_quick(progress):
+    return table1_http.run(
+        depths=(1, 32, 64),
+        vpg_counts=(1, 4),
+        settings=MeasurementSettings(http_duration=1.5),
+        progress=progress,
+    )
+
+
+def _extension_full(progress):
+    return extension_hardened.run(progress=progress)
+
+
+def _extension_quick(progress):
+    return extension_hardened.run(
+        depths=(1, 64),
+        settings=MeasurementSettings(duration=0.5),
+        progress=progress,
+    )
+
+
+def _ablations_full(progress):
+    return ablations.run(progress=progress)
+
+
+def _ablations_quick(progress):
+    settings = MeasurementSettings(duration=0.5)
+    return [
+        ablations.response_traffic(settings, progress=progress),
+        ablations.lazy_decrypt(settings, vpg_counts=(1, 8), progress=progress),
+        ablations.ring_size(settings, ring_sizes=(16, 256), progress=progress),
+        ablations.stateful_firewall(settings, depth=128, progress=progress),
+    ]
+
+
+REGISTRY: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            "fig2",
+            "Figure 2: available bandwidth vs. rule-set depth",
+            _fig2_full,
+            _fig2_quick,
+        ),
+        ExperimentSpec(
+            "fig3a",
+            "Figure 3a: available bandwidth during flood",
+            _fig3a_full,
+            _fig3a_quick,
+        ),
+        ExperimentSpec(
+            "fig3b",
+            "Figure 3b: minimum DoS flood rate vs. depth",
+            _fig3b_full,
+            _fig3b_quick,
+        ),
+        ExperimentSpec(
+            "table1",
+            "Table 1: HTTP performance behind an ADF",
+            _table1_full,
+            _table1_quick,
+        ),
+        ExperimentSpec(
+            "ablations",
+            "Design-choice ablations",
+            _ablations_full,
+            _ablations_quick,
+        ),
+        ExperimentSpec(
+            "extension",
+            "Extension: the future-work flood-tolerant NIC",
+            _extension_full,
+            _extension_quick,
+        ),
+    )
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, in presentation order."""
+    return list(REGISTRY)
+
+
+def run_experiment_result(
+    experiment_id: str,
+    quick: bool = False,
+    progress: Progress = None,
+) -> Any:
+    """Run one experiment and return its raw result object."""
+    spec = REGISTRY.get(experiment_id)
+    if spec is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {', '.join(REGISTRY)}"
+        )
+    runner = spec.run_quick if quick else spec.run_full
+    return runner(progress)
+
+
+def run_experiment(
+    experiment_id: str,
+    quick: bool = False,
+    progress: Progress = None,
+) -> str:
+    """Run one experiment and return its formatted text output."""
+    return render_result(run_experiment_result(experiment_id, quick=quick, progress=progress))

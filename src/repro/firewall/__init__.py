@@ -1,0 +1,75 @@
+"""Packet-filter engine: rules, rule-sets, builders, iptables model.
+
+The NIC-resident firewalls (:mod:`repro.nic`) and the host-resident
+iptables model both evaluate :class:`~repro.firewall.ruleset.RuleSet`
+objects; what differs between them is *where* the evaluation happens and
+what it costs — the central subject of the paper.
+"""
+
+from repro.firewall.anomalies import Anomaly, AnomalyKind, analyze, shadowed_rules
+from repro.firewall.builders import (
+    allow_all,
+    deny_all,
+    oracle_ruleset,
+    padded_ruleset,
+    padding_rule,
+    service_rule,
+    vpg_padding_rule,
+    vpg_ruleset,
+)
+from repro.firewall.conntrack import (
+    ConnState,
+    ConnectionTracker,
+    StatefulIptablesFilter,
+    flow_key,
+)
+from repro.firewall.iptables import IptablesFilter
+from repro.firewall.optimizer import (
+    TrafficProfile,
+    expected_traversal_cost,
+    improvement,
+    optimize,
+    profile_ruleset,
+)
+from repro.firewall.rules import (
+    Action,
+    AddressPattern,
+    Direction,
+    PortRange,
+    Rule,
+    VpgRule,
+)
+from repro.firewall.ruleset import MatchResult, RuleSet
+
+__all__ = [
+    "Action",
+    "AddressPattern",
+    "Anomaly",
+    "AnomalyKind",
+    "ConnState",
+    "ConnectionTracker",
+    "StatefulIptablesFilter",
+    "Direction",
+    "IptablesFilter",
+    "MatchResult",
+    "PortRange",
+    "Rule",
+    "RuleSet",
+    "VpgRule",
+    "allow_all",
+    "analyze",
+    "deny_all",
+    "oracle_ruleset",
+    "padded_ruleset",
+    "padding_rule",
+    "service_rule",
+    "TrafficProfile",
+    "expected_traversal_cost",
+    "improvement",
+    "flow_key",
+    "optimize",
+    "profile_ruleset",
+    "shadowed_rules",
+    "vpg_padding_rule",
+    "vpg_ruleset",
+]

@@ -1,0 +1,141 @@
+"""Rule-set anomaly analysis.
+
+Policy hygiene tooling in the spirit of the DPASA policy-generation work
+the paper cites ([19]): detects rules that can never fire (shadowing),
+rules made redundant by later rules with the same action, and rules that
+partially conflict with an earlier rule of the opposite action.  The
+experiment layer uses it to sanity-check generated rule-sets (padding
+rules must never shadow the action rule).
+
+The analysis is structural (prefix/range containment), not packet-driven,
+so it is sound for the discrete match dimensions the rules use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.firewall.rules import Direction, Rule
+from repro.firewall.ruleset import RuleSet
+
+
+class AnomalyKind(enum.Enum):
+    """Classification of a detected anomaly."""
+
+    #: A later rule can never match: an earlier rule with a *different*
+    #: action matches a superset of its traffic.
+    SHADOWED = "shadowed"
+    #: A later rule is unnecessary: an earlier rule with the *same*
+    #: action matches a superset of its traffic.
+    REDUNDANT = "redundant"
+    #: Two rules with different actions match overlapping (but not
+    #: nested) traffic; rule order silently decides the verdict.
+    CORRELATED = "correlated"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """A detected rule-pair anomaly (indices are 0-based positions)."""
+
+    kind: AnomalyKind
+    earlier_index: int
+    later_index: int
+    earlier: Rule
+    later: Rule
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.kind.value}: rule {self.later_index + 1} "
+            f"[{self.later.describe()}] by rule {self.earlier_index + 1} "
+            f"[{self.earlier.describe()}]"
+        )
+
+
+def _directions_overlap(a: Direction, b: Direction) -> bool:
+    return a == b or a == Direction.BOTH or b == Direction.BOTH
+
+
+def _direction_subset(inner: Direction, outer: Direction) -> bool:
+    return outer == Direction.BOTH or inner == outer
+
+
+def _protocol_subset(inner, outer) -> bool:
+    return outer is None or inner == outer
+
+
+def _protocols_overlap(a, b) -> bool:
+    return a is None or b is None or a == b
+
+
+def is_subset(inner: Rule, outer: Rule) -> bool:
+    """True if every packet matched by ``inner`` is matched by ``outer``."""
+    return (
+        _direction_subset(inner.direction, outer.direction)
+        and _protocol_subset(inner.protocol, outer.protocol)
+        and inner.src.is_subset_of(outer.src)
+        and inner.dst.is_subset_of(outer.dst)
+        and inner.src_ports.is_subset_of(outer.src_ports)
+        and inner.dst_ports.is_subset_of(outer.dst_ports)
+    )
+
+
+def overlaps(a: Rule, b: Rule) -> bool:
+    """True if some packet could match both rules.
+
+    Conservative on addresses: two prefixes overlap iff one contains the
+    other (true for IPv4 prefixes).
+    """
+    addresses_overlap = (
+        (a.src.is_subset_of(b.src) or b.src.is_subset_of(a.src))
+        and (a.dst.is_subset_of(b.dst) or b.dst.is_subset_of(a.dst))
+    )
+    return (
+        _directions_overlap(a.direction, b.direction)
+        and _protocols_overlap(a.protocol, b.protocol)
+        and addresses_overlap
+        and a.src_ports.overlaps(b.src_ports)
+        and a.dst_ports.overlaps(b.dst_ports)
+    )
+
+
+def analyze(ruleset: RuleSet) -> List[Anomaly]:
+    """Detect pairwise anomalies in rule order."""
+    anomalies: List[Anomaly] = []
+    rules = ruleset.rules
+    for later_index in range(len(rules)):
+        later = rules[later_index]
+        for earlier_index in range(later_index):
+            earlier = rules[earlier_index]
+            if is_subset(later, earlier):
+                kind = (
+                    AnomalyKind.REDUNDANT
+                    if earlier.action == later.action
+                    else AnomalyKind.SHADOWED
+                )
+                anomalies.append(
+                    Anomaly(kind, earlier_index, later_index, earlier, later)
+                )
+                break  # first covering rule decides; stop scanning
+            if earlier.action != later.action and overlaps(earlier, later):
+                anomalies.append(
+                    Anomaly(
+                        AnomalyKind.CORRELATED,
+                        earlier_index,
+                        later_index,
+                        earlier,
+                        later,
+                    )
+                )
+    return anomalies
+
+
+def shadowed_rules(ruleset: RuleSet) -> List[Rule]:
+    """Rules that can never fire."""
+    return [
+        anomaly.later
+        for anomaly in analyze(ruleset)
+        if anomaly.kind == AnomalyKind.SHADOWED
+    ]

@@ -1,0 +1,189 @@
+"""Rule-set construction helpers.
+
+The paper's methodology (§3) configures rule-sets so that the *action
+rule* — the rule that matches the traffic under test — sits at a chosen
+depth, with non-matching rules above it.  ``padded_ruleset`` builds
+exactly that.  ``vpg_ruleset`` builds the VPG variant: N−1 non-matching
+VPGs above the one matching VPG ("a rule-set with four VPGs has three
+VPGs that do not match the desired incoming traffic and one VPG that does
+match").
+
+``oracle_ruleset`` reproduces the 3Com-recommended Oracle-database
+protection policy the paper cites as needing "at least 31 rules" — the
+argument for why real deployments cannot stay under the 8-rule safety
+threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.firewall.rules import (
+    Action,
+    AddressPattern,
+    Direction,
+    PortRange,
+    Rule,
+    VpgRule,
+)
+from repro.firewall.ruleset import RuleSet
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpProtocol
+
+#: Address block used for padding rules; nothing in the testbed uses it,
+#: so padding rules can never match experiment traffic.
+_PAD_NET = Ipv4Address("203.0.113.0")  # TEST-NET-3, reserved
+
+
+def padding_rule(index: int, action: Action = Action.DENY) -> Rule:
+    """A rule that matches no testbed traffic (one /32 in TEST-NET-3)."""
+    host = AddressPattern.host(_PAD_NET + (index % 250 + 1))
+    return Rule(
+        action=action,
+        protocol=IpProtocol.TCP,
+        src=host,
+        dst=host,
+        name=f"pad-{index}",
+    )
+
+
+def allow_all(name: str = "allow-all") -> RuleSet:
+    """The smallest default 'allow all' rule-set (one rule)."""
+    return RuleSet([Rule(action=Action.ALLOW, name="allow-all")], name=name)
+
+
+def deny_all(name: str = "deny-all") -> RuleSet:
+    """An explicit single-rule deny-all rule-set."""
+    return RuleSet([Rule(action=Action.DENY, name="deny-all")], name=name)
+
+
+def padded_ruleset(
+    depth: int,
+    action_rule: Optional[Rule] = None,
+    default_action: Action = Action.DENY,
+    name: str = "",
+) -> RuleSet:
+    """An action rule at table depth ``depth`` with padding above it.
+
+    ``depth`` counts rule-table entries up to and including the action
+    rule, matching the paper's definition of rule-set length.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    if action_rule is None:
+        action_rule = Rule(action=Action.ALLOW, name="action")
+    if action_rule.rule_cost > depth:
+        raise ValueError(
+            f"action rule occupies {action_rule.rule_cost} entries; depth {depth} too small"
+        )
+    rules: List[Rule] = [
+        padding_rule(index) for index in range(depth - action_rule.rule_cost)
+    ]
+    rules.append(action_rule)
+    label = name or f"depth-{depth}"
+    return RuleSet(rules, default_action=default_action, name=label)
+
+
+def vpg_padding_rule(index: int) -> VpgRule:
+    """A non-matching VPG (protects an unused TEST-NET-3 pair)."""
+    host = AddressPattern.host(_PAD_NET + (index % 250 + 1))
+    return VpgRule(
+        action=Action.ALLOW,
+        src=host,
+        dst=host,
+        name=f"vpg-pad-{index}",
+        vpg_id=1000 + index,
+    )
+
+
+def vpg_ruleset(
+    vpg_count: int,
+    matching_vpg: VpgRule,
+    default_action: Action = Action.DENY,
+    name: str = "",
+) -> RuleSet:
+    """``vpg_count`` VPGs with only the last one matching the test traffic.
+
+    Mirrors the paper: "the depth of the rule-set is increased by adding
+    additional non-matching VPGs above the action rule".
+    """
+    if vpg_count < 1:
+        raise ValueError(f"vpg_count must be >= 1, got {vpg_count}")
+    rules: List[Rule] = [vpg_padding_rule(index) for index in range(vpg_count - 1)]
+    rules.append(matching_vpg)
+    label = name or f"vpg-{vpg_count}"
+    return RuleSet(rules, default_action=default_action, name=label)
+
+
+def service_rule(
+    action: Action,
+    protocol: IpProtocol,
+    dst_port: int,
+    dst: Optional[Ipv4Address] = None,
+    direction: Direction = Direction.BOTH,
+    name: str = "",
+) -> Rule:
+    """Convenience constructor for a single-service rule."""
+    return Rule(
+        action=action,
+        protocol=protocol,
+        dst=AddressPattern.host(dst) if dst is not None else AddressPattern.any(),
+        dst_ports=PortRange.single(dst_port),
+        direction=direction,
+        name=name or f"{protocol.name.lower()}-{dst_port}",
+    )
+
+
+#: TCP ports from the 3Com-recommended Oracle protection policy (paper
+#: §4.5: "a rule-set that requires at least 31 rules to protect the
+#: appropriate ports").
+_ORACLE_TCP_PORTS = [
+    1521,  # TNS listener
+    1522, 1523, 1524, 1525,  # additional listeners
+    1526, 1529,  # legacy SQL*Net
+    1575,  # Oracle Names
+    1630,  # Connection Manager
+    1810, 1830,  # Intelligent Agent / Connection Manager admin
+    2481, 2482,  # GIOP / GIOP SSL
+    2483, 2484,  # TTC / TTC SSL
+    7002,  # OAS
+    8080,  # XDB HTTP
+    2100,  # XDB FTP
+    1748, 1754, 1808, 1809,  # Intelligent Agent
+    5500, 5520, 5540,  # Enterprise Manager
+    4443,  # EM HTTPS
+    7777, 7778, 7779,  # Application Server HTTP
+]
+
+
+def oracle_ruleset(server_ip: Ipv4Address) -> RuleSet:
+    """The Oracle-database protection policy (31 rules).
+
+    28 TCP service allows + ICMP allow + established-traffic allow, with
+    an explicit final deny; everything else hits the default deny.
+    """
+    rules: List[Rule] = [
+        service_rule(Action.ALLOW, IpProtocol.TCP, port, dst=server_ip)
+        for port in _ORACLE_TCP_PORTS
+    ]
+    rules.append(
+        Rule(
+            action=Action.ALLOW,
+            protocol=IpProtocol.ICMP,
+            dst=AddressPattern.host(server_ip),
+            name="icmp-diagnostics",
+        )
+    )
+    rules.append(
+        Rule(
+            action=Action.ALLOW,
+            protocol=IpProtocol.TCP,
+            src=AddressPattern.host(server_ip),
+            direction=Direction.OUTBOUND,
+            name="server-responses",
+        )
+    )
+    rules.append(Rule(action=Action.DENY, name="explicit-deny"))
+    ruleset = RuleSet(rules, default_action=Action.DENY, name="oracle-server")
+    assert ruleset.table_size >= 31, "Oracle policy must need at least 31 rules"
+    return ruleset

@@ -1,0 +1,311 @@
+"""Connection tracking and a stateful iptables variant.
+
+The EFW/ADF provide *stateless* filtering only (paper §2: the EFW was
+built to be "fast, simple, and cheap").  Contemporary iptables could
+already match on connection state (``-m state``), which changes both the
+security model (responses admitted only for connections the host
+initiated) and the performance model (the rule chain is walked once per
+*connection*, not once per packet).
+
+:class:`ConnectionTracker` is a conntrack-style flow table with
+direction-normalised keys, per-protocol timeouts, TCP teardown awareness,
+and a bounded table (a full table drops NEW flows — the classic
+``nf_conntrack: table full`` failure mode, which a SYN flood with
+spoofed sources can force).
+
+:class:`StatefulIptablesFilter` extends the stateless model with the
+canonical fast path: ESTABLISHED traffic is accepted on the conntrack
+lookup alone; only NEW packets walk the rule chain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import calibration
+from repro.firewall.iptables import IptablesFilter
+from repro.firewall.rules import Direction
+from repro.firewall.ruleset import RuleSet
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpProtocol, Ipv4Packet
+from repro.sim.engine import Simulator
+
+#: Idle timeout for established TCP flows (seconds; real default is days,
+#: scaled to simulation horizons).
+TCP_ESTABLISHED_TIMEOUT = 120.0
+
+#: Timeout for half-open (SYN-seen) TCP flows (real default 60 s).
+TCP_SYN_TIMEOUT = 20.0
+
+#: Linger after FIN/RST before the entry is reaped.
+TCP_CLOSE_TIMEOUT = 1.0
+
+#: Idle timeout for UDP flows.
+UDP_TIMEOUT = 30.0
+
+#: Idle timeout for ICMP echo flows.
+ICMP_TIMEOUT = 10.0
+
+#: Default flow-table bound (real default: nf_conntrack_max = 65536 on
+#: era-appropriate memory).
+DEFAULT_MAX_ENTRIES = 65536
+
+
+class ConnState(enum.Enum):
+    """Conntrack states exposed to policy."""
+
+    NEW = "new"
+    ESTABLISHED = "established"
+    #: The table is full and the flow could not be tracked.
+    UNTRACKED = "untracked"
+
+
+@dataclass
+class FlowEntry:
+    """One tracked flow."""
+
+    protocol: IpProtocol
+    created_at: float
+    last_seen: float
+    #: True once traffic has been seen in both directions (or, for TCP,
+    #: once the handshake progressed past the initial SYN).
+    confirmed: bool = False
+    #: True after FIN/RST: the entry is reaped quickly.
+    closing: bool = False
+    packets: int = 0
+
+    def timeout(self) -> float:
+        """Current idle timeout for this entry."""
+        if self.closing:
+            return TCP_CLOSE_TIMEOUT
+        if self.protocol == IpProtocol.TCP:
+            return TCP_ESTABLISHED_TIMEOUT if self.confirmed else TCP_SYN_TIMEOUT
+        if self.protocol == IpProtocol.UDP:
+            return UDP_TIMEOUT
+        return ICMP_TIMEOUT
+
+
+#: Direction-normalised flow key.
+FlowKey = Tuple[IpProtocol, Ipv4Address, int, Ipv4Address, int]
+
+
+def flow_key(packet: Ipv4Packet) -> Optional[FlowKey]:
+    """A direction-independent key for the packet's flow.
+
+    The lower (address, port) endpoint is always placed first, so both
+    directions of a conversation map to the same entry.  ICMP echo flows
+    key on the identifier.  Returns None for untrackable packets.
+    """
+    protocol, src, sport, dst, dport = packet.flow()
+    if protocol == IpProtocol.ICMP:
+        icmp = packet.icmp
+        if icmp is None:
+            return None
+        sport = dport = icmp.identifier
+    elif protocol not in (IpProtocol.TCP, IpProtocol.UDP):
+        return None
+    if (int(src), sport) <= (int(dst), dport):
+        return (protocol, src, sport, dst, dport)
+    return (protocol, dst, dport, src, sport)
+
+
+class ConnectionTracker:
+    """A bounded conntrack-style flow table."""
+
+    def __init__(self, sim: Simulator, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.sim = sim
+        self.max_entries = max_entries
+        self._table: Dict[FlowKey, FlowEntry] = {}
+        # Counters
+        self.created = 0
+        self.expired = 0
+        self.dropped_table_full = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # ------------------------------------------------------------------
+
+    def classify(self, packet: Ipv4Packet) -> ConnState:
+        """State of the packet's flow *without* creating an entry."""
+        key = flow_key(packet)
+        if key is None:
+            return ConnState.UNTRACKED
+        entry = self._live_entry(key)
+        if entry is None:
+            return ConnState.NEW
+        return ConnState.ESTABLISHED
+
+    def note(self, packet: Ipv4Packet, initiating: bool) -> ConnState:
+        """Record the packet and return its flow's state.
+
+        ``initiating`` marks packets allowed to *create* entries (NEW
+        packets accepted by the rule chain, and locally-originated
+        traffic).
+        """
+        key = flow_key(packet)
+        if key is None:
+            return ConnState.UNTRACKED
+        now = self.sim.now
+        entry = self._live_entry(key)
+        if entry is None:
+            if not initiating:
+                return ConnState.NEW
+            if len(self._table) >= self.max_entries:
+                self._sweep()
+            if len(self._table) >= self.max_entries:
+                self.dropped_table_full += 1
+                return ConnState.UNTRACKED
+            self.created += 1
+            self._table[key] = FlowEntry(
+                protocol=packet.protocol,
+                created_at=now,
+                last_seen=now,
+                confirmed=packet.protocol != IpProtocol.TCP,
+                packets=1,
+            )
+            return ConnState.NEW
+        entry.last_seen = now
+        entry.packets += 1
+        segment = packet.tcp
+        if segment is not None:
+            if segment.ack_flag and not segment.syn:
+                entry.confirmed = True
+            if segment.fin or segment.rst:
+                entry.closing = True
+        else:
+            entry.confirmed = True
+        return ConnState.ESTABLISHED
+
+    # ------------------------------------------------------------------
+
+    def _live_entry(self, key: FlowKey) -> Optional[FlowEntry]:
+        entry = self._table.get(key)
+        if entry is None:
+            return None
+        if self.sim.now - entry.last_seen > entry.timeout():
+            del self._table[key]
+            self.expired += 1
+            return None
+        return entry
+
+    def _sweep(self) -> None:
+        """Reap every expired entry (called when the table is full)."""
+        now = self.sim.now
+        stale = [
+            key
+            for key, entry in self._table.items()
+            if now - entry.last_seen > entry.timeout()
+        ]
+        for key in stale:
+            del self._table[key]
+        self.expired += len(stale)
+
+
+#: Extra host-CPU time for one conntrack hash lookup/update.
+CONNTRACK_LOOKUP_COST = 0.3e-6
+
+
+class StatefulIptablesFilter(IptablesFilter):
+    """iptables with the canonical stateful fast path.
+
+    INPUT processing:
+
+    * ESTABLISHED flows are accepted on the conntrack lookup alone
+      (``-m state --state ESTABLISHED -j ACCEPT`` as the implicit first
+      rule) — the chain is *not* walked, so deep rule-sets cost per
+      connection, not per packet;
+    * NEW packets walk the chain; if accepted, the flow is committed to
+      the tracker;
+    * when the flow table is full, NEW flows are dropped (the
+      ``nf_conntrack: table full, dropping packet`` failure mode).
+
+    OUTPUT processing commits locally-originated flows so their responses
+    are recognised as ESTABLISHED.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        input_chain: RuleSet,
+        output_chain: Optional[RuleSet] = None,
+        cost_model: calibration.NicCostModel = calibration.IPTABLES_COST_MODEL,
+        backlog: int = calibration.IPTABLES_BACKLOG,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ):
+        super().__init__(
+            sim,
+            input_chain,
+            output_chain=output_chain,
+            cost_model=cost_model,
+            backlog=backlog,
+        )
+        self.tracker = ConnectionTracker(sim, max_entries=max_entries)
+        # Counters
+        self.accepted_established = 0
+        self.dropped_conntrack_full = 0
+
+    # The service-time/verdict pair is computed together, as in the base.
+    def _service_time(self, item) -> float:
+        packet, direction, _dst_mac = item
+        state = self.tracker.classify(packet)
+        if state == ConnState.ESTABLISHED:
+            self.tracker.note(packet, initiating=False)
+            self._pending_result = _EstablishedVerdict()
+            return self.cost_model.service_time(
+                frame_bytes=packet.size, rules_traversed=0
+            ) + CONNTRACK_LOOKUP_COST
+        chain = self.input_chain if direction == Direction.INBOUND else self.output_chain
+        result = chain.evaluate(packet, direction)
+        self._pending_result = result
+        return (
+            self.cost_model.service_time(
+                frame_bytes=packet.size, rules_traversed=result.rules_traversed
+            )
+            + CONNTRACK_LOOKUP_COST
+        )
+
+    def _completed(self, item) -> None:
+        packet, direction, dst_mac = item
+        result = self._pending_result
+        if isinstance(result, _EstablishedVerdict):
+            self.accepted_established += 1
+            if direction == Direction.INBOUND:
+                self.accepted_in += 1
+                self.host.deliver_filtered(packet)
+            else:
+                self.accepted_out += 1
+                self.host.transmit_filtered(packet, dst_mac)
+            return
+        if result.allowed:
+            state = self.tracker.note(packet, initiating=True)
+            if state == ConnState.UNTRACKED and flow_key(packet) is not None:
+                # Table full: NEW flows are dropped.
+                self.dropped_conntrack_full += 1
+                if direction == Direction.INBOUND:
+                    self.dropped_in += 1
+                else:
+                    self.dropped_out += 1
+                return
+        if direction == Direction.INBOUND:
+            if result.allowed:
+                self.accepted_in += 1
+                self.host.deliver_filtered(packet)
+            else:
+                self.dropped_in += 1
+        else:
+            if result.allowed:
+                self.accepted_out += 1
+                self.host.transmit_filtered(packet, dst_mac)
+            else:
+                self.dropped_out += 1
+
+
+class _EstablishedVerdict:
+    """Marker verdict for the conntrack fast path."""
+
+    allowed = True

@@ -1,0 +1,125 @@
+"""A netfilter/iptables software-firewall model.
+
+The paper benchmarks iptables as the software baseline: filtering happens
+on the *host* CPU, which is orders of magnitude faster per rule than the
+NIC's embedded processor, so iptables shows no bandwidth loss below 64
+rules at 100 Mbps and cannot be flooded at rates achievable on the wire
+(Hoffman et al. [10]; paper §4.1/§4.3).
+
+The model filters both directions through per-direction chains (INPUT and
+OUTPUT), each evaluation paying a host-CPU service time on a bounded
+softirq backlog queue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import calibration
+from repro.firewall.rules import Action, Direction
+from repro.firewall.ruleset import RuleSet
+from repro.net.addresses import MacAddress
+from repro.net.packet import Ipv4Packet
+from repro.nic.queues import ServiceQueue
+from repro.sim.engine import Simulator
+
+
+class IptablesFilter:
+    """Host-resident stateless packet filter (iptables model).
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    input_chain:
+        Rule-set applied to inbound packets.
+    output_chain:
+        Rule-set applied to outbound packets (default: allow everything,
+        matching the paper's configurations, which filter inbound).
+    cost_model:
+        Host-CPU cost constants.
+    backlog:
+        Softirq backlog bound, in packets.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        input_chain: RuleSet,
+        output_chain: Optional[RuleSet] = None,
+        cost_model: calibration.NicCostModel = calibration.IPTABLES_COST_MODEL,
+        backlog: int = calibration.IPTABLES_BACKLOG,
+    ):
+        self.sim = sim
+        self.input_chain = input_chain
+        self.output_chain = output_chain if output_chain is not None else RuleSet(
+            [], default_action=Action.ALLOW, name="output-accept"
+        )
+        self.cost_model = cost_model
+        self.host = None
+        self._queue = ServiceQueue(
+            sim,
+            name="iptables",
+            capacity=backlog,
+            service_time=self._service_time,
+            on_complete=self._completed,
+        )
+        # Counters
+        self.accepted_in = 0
+        self.dropped_in = 0
+        self.accepted_out = 0
+        self.dropped_out = 0
+        self.dropped_backlog = 0
+
+    def bind_host(self, host) -> None:
+        """Called by :meth:`repro.host.Host.install_iptables`."""
+        self.host = host
+
+    # ------------------------------------------------------------------
+    # Host-facing API
+    # ------------------------------------------------------------------
+
+    def filter_input(self, packet: Ipv4Packet) -> None:
+        """Submit an inbound packet to the INPUT chain."""
+        if not self._queue.offer((packet, Direction.INBOUND, None)):
+            self.dropped_backlog += 1
+
+    def filter_output(self, packet: Ipv4Packet, dst_mac: MacAddress) -> None:
+        """Submit an outbound packet to the OUTPUT chain."""
+        if not self._queue.offer((packet, Direction.OUTBOUND, dst_mac)):
+            self.dropped_backlog += 1
+
+    # ------------------------------------------------------------------
+
+    def _service_time(self, item) -> float:
+        packet, direction, _dst_mac = item
+        chain = self.input_chain if direction == Direction.INBOUND else self.output_chain
+        # Pre-compute the verdict so the service time reflects the rules
+        # actually traversed; stash it on the work item for _completed.
+        result = chain.evaluate(packet, direction)
+        item_cost = self.cost_model.service_time(
+            frame_bytes=packet.size, rules_traversed=result.rules_traversed
+        )
+        self._pending_result = result
+        return item_cost
+
+    def _completed(self, item) -> None:
+        packet, direction, dst_mac = item
+        result = self._pending_result
+        if direction == Direction.INBOUND:
+            if result.allowed:
+                self.accepted_in += 1
+                self.host.deliver_filtered(packet)
+            else:
+                self.dropped_in += 1
+        else:
+            if result.allowed:
+                self.accepted_out += 1
+                self.host.transmit_filtered(packet, dst_mac)
+            else:
+                self.dropped_out += 1
+
+    @property
+    def utilisation_time(self) -> float:
+        """Total busy seconds spent filtering."""
+        return self._queue.busy_time

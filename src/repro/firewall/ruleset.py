@@ -1,0 +1,195 @@
+"""Ordered rule-sets with first-match semantics.
+
+The evaluation result carries ``rules_traversed`` — the number of
+rule-table entries examined up to and including the matching rule — which
+is exactly the quantity the paper's cost model depends on ("when we refer
+to rule-set length (or depth) we are technically referring to the number
+of rules up to and including the action rule").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.firewall.rules import Action, Direction, Rule, VpgRule
+from repro.net.packet import Ipv4Packet
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of evaluating a packet against a rule-set."""
+
+    action: Action
+    #: Rule-table entries examined, including the matching rule (VPG rules
+    #: count as 2 entries).  Equals the full table size when the default
+    #: action applied.
+    rules_traversed: int
+    #: The matching rule, or None when the default action applied.
+    rule: Optional[Rule]
+    #: True when the match was a VPG rule (crypto applies).
+    is_vpg: bool = False
+
+    @property
+    def allowed(self) -> bool:
+        """True for an ALLOW verdict."""
+        return self.action == Action.ALLOW
+
+
+class RuleSet:
+    """An ordered first-match rule-set with a default action.
+
+    The EFW ships a default-deny posture once a policy is pushed; the
+    experiments in the paper configure explicit action rules, so the
+    default action is a constructor knob.
+    """
+
+    #: Bound on the per-rule-set flow cache (entries).
+    FLOW_CACHE_LIMIT = 65536
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        default_action: Action = Action.DENY,
+        name: str = "ruleset",
+    ):
+        self._rules: List[Rule] = list(rules)
+        self.default_action = default_action
+        self.name = name
+        # Rule matching is a pure function of the packet's flow tuple and
+        # direction, so results are memoised.  This is a simulation
+        # optimisation, not a model feature: the real cards walk the table
+        # for every packet, and the *cost* charged still reflects that
+        # walk (rules_traversed is part of the cached result).
+        self._flow_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def append(self, rule: Rule) -> None:
+        """Add a rule at the end (lowest priority before the default)."""
+        self._rules.append(rule)
+        self._flow_cache.clear()
+
+    def insert(self, index: int, rule: Rule) -> None:
+        """Insert a rule at ``index`` (0 = highest priority)."""
+        self._rules.insert(index, rule)
+        self._flow_cache.clear()
+
+    def remove(self, rule: Rule) -> None:
+        """Remove the first occurrence of ``rule``."""
+        self._rules.remove(rule)
+        self._flow_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def rules(self) -> List[Rule]:
+        """The rules, highest priority first (copy)."""
+        return list(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    @property
+    def table_size(self) -> int:
+        """Total rule-table entries (VPG rules occupy two entries)."""
+        return sum(rule.rule_cost for rule in self._rules)
+
+    def depth_of(self, rule: Rule) -> int:
+        """Entries traversed up to and including ``rule``."""
+        depth = 0
+        for candidate in self._rules:
+            depth += candidate.rule_cost
+            if candidate is rule:
+                return depth
+        raise ValueError("rule not in rule-set")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
+        """First-match evaluation of a plaintext packet."""
+        cache_key = (packet.flow(), direction)
+        cached = self._flow_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        result = self._evaluate_uncached(packet, direction)
+        if len(self._flow_cache) < self.FLOW_CACHE_LIMIT:
+            self._flow_cache[cache_key] = result
+        return result
+
+    def _evaluate_uncached(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
+        traversed = 0
+        for rule in self._rules:
+            traversed += rule.rule_cost
+            if rule.matches(packet, direction):
+                return MatchResult(
+                    action=rule.action,
+                    rules_traversed=traversed,
+                    rule=rule,
+                    is_vpg=isinstance(rule, VpgRule),
+                )
+        return MatchResult(
+            action=self.default_action,
+            rules_traversed=max(traversed, 1),
+            rule=None,
+        )
+
+    def evaluate_encrypted(self, spi: int) -> MatchResult:
+        """First-match evaluation of an encrypted VPG packet by SPI.
+
+        Non-VPG rules are traversed (they cost table entries) but cannot
+        match an encrypted packet; this is the *lazy decryption* behaviour
+        the paper observed — packets are not decrypted until they reach
+        the matching VPG rule.
+        """
+        cache_key = ("spi", spi)
+        cached = self._flow_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        traversed = 0
+        for rule in self._rules:
+            traversed += rule.rule_cost
+            if isinstance(rule, VpgRule) and rule.matches_encrypted(spi):
+                result = MatchResult(
+                    action=rule.action,
+                    rules_traversed=traversed,
+                    rule=rule,
+                    is_vpg=True,
+                )
+                self._flow_cache[cache_key] = result
+                return result
+        result = MatchResult(
+            action=self.default_action,
+            rules_traversed=max(traversed, 1),
+            rule=None,
+        )
+        self._flow_cache[cache_key] = result
+        return result
+
+    def find_vpg_for_packet(self, packet: Ipv4Packet) -> Optional[MatchResult]:
+        """Egress-side lookup: does a VPG rule protect this plaintext flow?
+
+        Returns the match for the *first* rule that matches the packet if
+        that rule is a VPG rule; otherwise None (the packet is handled by
+        plain filtering).
+        """
+        result = self.evaluate(packet, Direction.OUTBOUND)
+        if result.is_vpg:
+            return result
+        return None
+
+    def describe(self) -> str:
+        """Multi-line listing."""
+        lines = [f"RuleSet {self.name!r} (default {self.default_action.value}):"]
+        for index, rule in enumerate(self._rules, start=1):
+            lines.append(f"  {index:3d}. {rule.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Dynamic ARP (RFC 826).
+
+The experiment testbeds use static ARP tables (the paper's isolated
+network makes dynamic resolution irrelevant to the measurements), but the
+substrate supports the real protocol: broadcast who-has requests, unicast
+replies, a timed cache, retry/timeout for unresolvable addresses, and a
+bounded per-destination queue of packets awaiting resolution.
+
+Enable per host with :meth:`repro.host.Host.enable_arp`.  Static table
+entries always win, so enabling ARP never perturbs a testbed that
+pre-populates the table.
+
+ARP frames bypass the firewall NIC's policy engine: the EFW/ADF filter at
+the IP layer, and link-layer address resolution must keep working for the
+card to emit anything at all.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.net.addresses import BROADCAST_MAC, Ipv4Address, MacAddress
+from repro.net.packet import ETHERTYPE_ARP, ArpMessage, ArpOp, EthernetFrame, Ipv4Packet
+
+#: Cache lifetime for learned entries (seconds).
+DEFAULT_CACHE_TIMEOUT = 60.0
+
+#: Delay between request retries.
+DEFAULT_RETRY_INTERVAL = 0.5
+
+#: Requests sent before the destination is declared unreachable.
+DEFAULT_MAX_RETRIES = 3
+
+#: Packets queued per unresolved destination.
+DEFAULT_QUEUE_LIMIT = 16
+
+
+class ArpLayer:
+    """Per-host dynamic ARP resolution."""
+
+    def __init__(
+        self,
+        host,
+        cache_timeout: float = DEFAULT_CACHE_TIMEOUT,
+        retry_interval: float = DEFAULT_RETRY_INTERVAL,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.cache_timeout = cache_timeout
+        self.retry_interval = retry_interval
+        self.max_retries = max_retries
+        self.queue_limit = queue_limit
+        self._cache: Dict[Ipv4Address, Tuple[MacAddress, float]] = {}
+        # ip -> (queued packets, retries so far, retry event)
+        self._pending: Dict[Ipv4Address, Deque[Ipv4Packet]] = {}
+        self._retries: Dict[Ipv4Address, int] = {}
+        # Counters
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.resolved = 0
+        self.failures = 0
+        self.packets_dropped_unresolved = 0
+
+    # ------------------------------------------------------------------
+    # Resolution API (called by the IP layer)
+    # ------------------------------------------------------------------
+
+    def lookup(self, ip: Ipv4Address) -> Optional[MacAddress]:
+        """Fresh cached MAC for ``ip``, or None."""
+        entry = self._cache.get(ip)
+        if entry is None:
+            return None
+        mac, learned_at = entry
+        if self.sim.now - learned_at > self.cache_timeout:
+            del self._cache[ip]
+            return None
+        return mac
+
+    def send_when_resolved(self, packet: Ipv4Packet) -> None:
+        """Queue ``packet`` and resolve its destination."""
+        mac = self.lookup(packet.dst)
+        if mac is not None:
+            self.host.transmit(packet, mac)
+            return
+        queue = self._pending.get(packet.dst)
+        if queue is None:
+            queue = deque()
+            self._pending[packet.dst] = queue
+            self._retries[packet.dst] = 0
+            self._send_request(packet.dst)
+        if len(queue) >= self.queue_limit:
+            self.packets_dropped_unresolved += 1
+            return
+        queue.append(packet)
+
+    # ------------------------------------------------------------------
+    # Wire interface (called by the NIC)
+    # ------------------------------------------------------------------
+
+    def message_arrived(self, message: ArpMessage) -> None:
+        """Handle an incoming ARP frame."""
+        # Learn the sender opportunistically (both requests and replies).
+        self._learn(message.sender_ip, message.sender_mac)
+        if message.op == ArpOp.REQUEST and message.target_ip == self.host.ip:
+            self.replies_sent += 1
+            reply = ArpMessage(
+                op=ArpOp.REPLY,
+                sender_mac=self.host.mac,
+                sender_ip=self.host.ip,
+                target_mac=message.sender_mac,
+                target_ip=message.sender_ip,
+            )
+            self._emit(reply, message.sender_mac)
+
+    # ------------------------------------------------------------------
+
+    def _learn(self, ip: Ipv4Address, mac: MacAddress) -> None:
+        if ip == self.host.ip:
+            return
+        self._cache[ip] = (mac, self.sim.now)
+        queue = self._pending.pop(ip, None)
+        self._retries.pop(ip, None)
+        if queue:
+            self.resolved += 1
+            for packet in queue:
+                self.host.transmit(packet, mac)
+
+    def _send_request(self, ip: Ipv4Address) -> None:
+        self.requests_sent += 1
+        request = ArpMessage(
+            op=ArpOp.REQUEST,
+            sender_mac=self.host.mac,
+            sender_ip=self.host.ip,
+            target_mac=MacAddress(0),
+            target_ip=ip,
+        )
+        self._emit(request, BROADCAST_MAC)
+        self.sim.schedule(self.retry_interval, self._retry, ip)
+
+    def _retry(self, ip: Ipv4Address) -> None:
+        if ip not in self._pending:
+            return  # resolved meanwhile
+        self._retries[ip] += 1
+        if self._retries[ip] >= self.max_retries:
+            queue = self._pending.pop(ip)
+            self._retries.pop(ip, None)
+            self.failures += 1
+            self.packets_dropped_unresolved += len(queue)
+            return
+        self._send_request(ip)
+
+    def _emit(self, message: ArpMessage, dst_mac: MacAddress) -> None:
+        if self.host.nic is None or self.host.nic.port is None:
+            return
+        frame = EthernetFrame(
+            src_mac=self.host.mac,
+            dst_mac=dst_mac,
+            payload=message,
+            ethertype=ETHERTYPE_ARP,
+        )
+        self.host.nic.send_arp_frame(frame)
+
+    def cache_snapshot(self) -> Dict[Ipv4Address, MacAddress]:
+        """Current (non-expired) cache contents."""
+        return {ip: mac for ip, (mac, _t) in self._cache.items() if self.lookup(ip)}

@@ -1,0 +1,126 @@
+"""ICMP: echo (ping) and destination-unreachable generation.
+
+Port-unreachable messages are rate-limited per destination, mirroring the
+Linux ``icmp_ratelimit`` behaviour; without the limit, a UDP flood to a
+closed port would be answered packet-for-packet.  (Linux 2.4 defaults to
+one ICMP error per jiffy bucket; we model a token bucket.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import (
+    ICMP_CODE_PORT_UNREACHABLE,
+    IcmpMessage,
+    IcmpType,
+    Ipv4Packet,
+)
+
+#: Tokens per second for ICMP error generation (Linux default: 1 per
+#: 100 ms per destination bucket; we use a single aggregate bucket).
+ICMP_ERROR_RATE = 10.0
+
+#: Bucket depth.
+ICMP_ERROR_BURST = 10.0
+
+#: Handler signature for echo replies: (source_ip, identifier, sequence, rtt_hint_size)
+EchoReplyHandler = Callable[[Ipv4Address, int, int, int], None]
+
+
+class IcmpLayer:
+    """Per-host ICMP processing."""
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self.sim = host.sim
+        self._echo_handlers: Dict[int, EchoReplyHandler] = {}
+        self._next_identifier = 1
+        # Token bucket for error generation.
+        self._tokens = ICMP_ERROR_BURST
+        self._last_refill = 0.0
+        # Counters
+        self.echo_requests_received = 0
+        self.echo_replies_received = 0
+        self.errors_sent = 0
+        self.errors_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # Echo
+    # ------------------------------------------------------------------
+
+    def ping(
+        self,
+        dst_ip: Ipv4Address,
+        payload_size: int = 56,
+        sequence: int = 0,
+        on_reply: Optional[EchoReplyHandler] = None,
+    ) -> int:
+        """Send an echo request; returns the identifier used."""
+        identifier = self._next_identifier
+        self._next_identifier = (self._next_identifier % 0xFFFF) + 1
+        if on_reply is not None:
+            self._echo_handlers[identifier] = on_reply
+        message = IcmpMessage(
+            icmp_type=IcmpType.ECHO_REQUEST,
+            identifier=identifier,
+            sequence=sequence,
+            payload_size=payload_size,
+        )
+        self.host.ip_layer.send(dst_ip, message)
+        return identifier
+
+    # ------------------------------------------------------------------
+    # Error generation
+    # ------------------------------------------------------------------
+
+    def send_port_unreachable(self, offending: Ipv4Packet) -> None:
+        """Send a rate-limited ICMP port-unreachable for ``offending``."""
+        if not self._take_token():
+            self.errors_suppressed += 1
+            return
+        self.errors_sent += 1
+        # RFC 1122: include the offending IP header + 8 bytes of payload.
+        quoted = min(offending.size, Ipv4Packet.HEADER_SIZE + 8)
+        message = IcmpMessage(
+            icmp_type=IcmpType.DEST_UNREACHABLE,
+            code=ICMP_CODE_PORT_UNREACHABLE,
+            payload_size=quoted,
+        )
+        self.host.ip_layer.send(offending.src, message)
+
+    def _take_token(self) -> bool:
+        now = self.sim.now
+        self._tokens = min(
+            ICMP_ERROR_BURST, self._tokens + (now - self._last_refill) * ICMP_ERROR_RATE
+        )
+        self._last_refill = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+
+    def message_arrived(self, packet: Ipv4Packet) -> None:
+        """Handle an inbound ICMP message."""
+        message = packet.icmp
+        if message is None:
+            return
+        if message.icmp_type == IcmpType.ECHO_REQUEST:
+            self.echo_requests_received += 1
+            reply = IcmpMessage(
+                icmp_type=IcmpType.ECHO_REPLY,
+                identifier=message.identifier,
+                sequence=message.sequence,
+                payload_size=message.payload_size,
+            )
+            self.host.ip_layer.send(packet.src, reply)
+        elif message.icmp_type == IcmpType.ECHO_REPLY:
+            self.echo_replies_received += 1
+            handler = self._echo_handlers.get(message.identifier)
+            if handler is not None:
+                handler(packet.src, message.identifier, message.sequence, message.payload_size)

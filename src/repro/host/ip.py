@@ -1,0 +1,103 @@
+"""The host IP layer: output path, input dispatch, and ARP resolution.
+
+All stations share one LAN segment (the paper's testbed has no router),
+so "routing" is MAC resolution from a static ARP table populated by the
+testbed builder, with broadcast as a last resort.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.addresses import BROADCAST_MAC, Ipv4Address, MacAddress
+from repro.net.packet import IpProtocol, Ipv4Packet, L4Payload
+
+
+class IpLayer:
+    """Per-host IPv4 input/output."""
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self.arp_table: Dict[Ipv4Address, MacAddress] = {}
+        self._identification = 0
+        # Counters
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.packets_dropped_no_proto = 0
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def send(self, dst_ip: Ipv4Address, payload: L4Payload, ttl: int = 64) -> None:
+        """Wrap ``payload`` in an IPv4 packet from this host and transmit."""
+        packet = Ipv4Packet(
+            src=self.host.ip,
+            dst=dst_ip,
+            payload=payload,
+            ttl=ttl,
+            identification=self._next_identification(),
+        )
+        self.send_packet(packet)
+
+    def send_packet(self, packet: Ipv4Packet) -> None:
+        """Transmit a fully-formed packet (spoofed sources allowed —
+        this is the raw-socket path the flood generator uses)."""
+        self.packets_sent += 1
+        static = self.arp_table.get(packet.dst)
+        if static is not None:
+            self.host.transmit(packet, static)
+            return
+        if self.host.arp is not None:
+            # Dynamic resolution: queue behind an ARP exchange.
+            self.host.arp.send_when_resolved(packet)
+            return
+        self.host.transmit(packet, BROADCAST_MAC)
+
+    def resolve(self, dst_ip: Ipv4Address) -> MacAddress:
+        """Best-known MAC for ``dst_ip``: static table, then the dynamic
+        ARP cache, then broadcast."""
+        static = self.arp_table.get(dst_ip)
+        if static is not None:
+            return static
+        if self.host.arp is not None:
+            cached = self.host.arp.lookup(dst_ip)
+            if cached is not None:
+                return cached
+        return BROADCAST_MAC
+
+    def _next_identification(self) -> int:
+        self._identification = (self._identification + 1) & 0xFFFF
+        return self._identification
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+
+    def packet_arrived(self, packet: Ipv4Packet) -> None:
+        """Dispatch an inbound packet to the protocol handler.
+
+        Packets not addressed to this host are dropped silently (the
+        switch normally prevents this; floods with spoofed destinations
+        can still arrive when the switch floods unknown unicast).
+        """
+        if packet.dst != self.host.ip and not self._is_broadcast(packet.dst):
+            return
+        self.packets_received += 1
+        if packet.protocol == IpProtocol.TCP:
+            self.host.tcp.segment_arrived(packet)
+        elif packet.protocol == IpProtocol.UDP:
+            self.host.udp.datagram_arrived(packet)
+        elif packet.protocol == IpProtocol.ICMP:
+            self.host.icmp.message_arrived(packet)
+        elif packet.protocol == IpProtocol.VPG:
+            # VPG packets should have been decapsulated by the ADF NIC; a
+            # VPG packet reaching the stack means no matching VPG rule was
+            # configured.  Drop.
+            self.packets_dropped_no_proto += 1
+        else:
+            self.packets_dropped_no_proto += 1
+
+    @staticmethod
+    def _is_broadcast(address: Ipv4Address) -> bool:
+        return int(address) == 0xFFFFFFFF or (int(address) & 0xFF) == 0xFF

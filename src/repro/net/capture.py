@@ -1,0 +1,93 @@
+"""Packet capture taps.
+
+A :class:`CaptureTap` attaches to a :class:`~repro.net.link.Link` and
+records every frame that crosses it, with timestamps and direction.  Tests
+use taps to assert on exact traffic patterns; experiments use them for
+rate accounting independent of endpoint counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.net.packet import EthernetFrame
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One captured frame with its metadata."""
+
+    time: float
+    frame: EthernetFrame
+    src_port_name: str
+    dst_port_name: str
+
+    @property
+    def wire_size(self) -> int:
+        """Size of the captured frame on the wire."""
+        return self.frame.wire_size
+
+
+class CaptureTap:
+    """Records frames crossing a link, with optional filtering.
+
+    Parameters
+    ----------
+    name:
+        Label for this tap.
+    frame_filter:
+        Optional predicate; only frames for which it returns True are kept.
+    max_frames:
+        Bound on retained frames (oldest dropped beyond it); counters keep
+        counting regardless.
+    """
+
+    def __init__(
+        self,
+        name: str = "tap",
+        frame_filter: Optional[Callable[[EthernetFrame], bool]] = None,
+        max_frames: int = 1_000_000,
+    ):
+        self.name = name
+        self.frame_filter = frame_filter
+        self.max_frames = max_frames
+        self.frames: List[CapturedFrame] = []
+        self.total_frames = 0
+        self.total_bytes = 0
+
+    def observe(self, time: float, frame: EthernetFrame, src_port, dst_port) -> None:
+        """Called by the link for every delivered frame."""
+        if self.frame_filter is not None and not self.frame_filter(frame):
+            return
+        self.total_frames += 1
+        self.total_bytes += frame.wire_size
+        self.frames.append(
+            CapturedFrame(
+                time=time,
+                frame=frame,
+                src_port_name=src_port.name,
+                dst_port_name=dst_port.name,
+            )
+        )
+        if len(self.frames) > self.max_frames:
+            del self.frames[: len(self.frames) - self.max_frames]
+
+    def clear(self) -> None:
+        """Drop retained frames and reset counters."""
+        self.frames.clear()
+        self.total_frames = 0
+        self.total_bytes = 0
+
+    def frames_between(self, start: float, end: float) -> List[CapturedFrame]:
+        """Retained frames with ``start <= time < end``."""
+        return [captured for captured in self.frames if start <= captured.time < end]
+
+    def rate_pps(self, start: float, end: float) -> float:
+        """Average frame rate over a window, from retained frames."""
+        if end <= start:
+            raise ValueError("window end must be after start")
+        return len(self.frames_between(start, end)) / (end - start)
+
+    def __len__(self) -> int:
+        return len(self.frames)

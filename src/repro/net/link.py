@@ -1,0 +1,157 @@
+"""Full-duplex point-to-point Ethernet links.
+
+A :class:`Link` joins two :class:`LinkPort` endpoints.  Each direction has
+its own serializer: one frame is on the wire at a time, taking
+``(wire_size + preamble + IFG) * 8 / bandwidth`` seconds, followed by the
+propagation delay.  Each port has a bounded FIFO transmit queue with
+tail-drop, which is what turns an offered overload into loss instead of an
+unbounded event backlog.
+
+Devices (NICs, switches) attach to a port and must implement
+``receive_frame(frame, port)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Protocol
+
+from repro.net.packet import EthernetFrame
+from repro.sim import units
+from repro.sim.engine import Simulator
+
+
+class FrameSink(Protocol):
+    """Anything that can accept frames arriving on a port."""
+
+    def receive_frame(self, frame: EthernetFrame, port: "LinkPort") -> None:
+        """Handle a frame delivered by the link."""
+
+
+class LinkPort:
+    """One endpoint of a full-duplex link.
+
+    Transmission model: frames handed to :meth:`send` enter a bounded FIFO;
+    the head frame is serialized for its wire time (including preamble and
+    inter-frame gap) and delivered to the device attached at the far end
+    after the propagation delay.  Frames offered while the queue is full
+    are dropped and counted.
+    """
+
+    def __init__(self, link: "Link", name: str, queue_capacity: int):
+        self.link = link
+        self.name = name
+        self.queue_capacity = queue_capacity
+        self.peer: Optional["LinkPort"] = None
+        self.device: Optional[FrameSink] = None
+        self._queue: Deque[EthernetFrame] = deque()
+        self._transmitting = False
+        # Counters
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.dropped_frames = 0
+
+    # ------------------------------------------------------------------
+
+    def attach(self, device: FrameSink) -> None:
+        """Attach the device that will receive frames arriving here."""
+        if self.device is not None:
+            raise RuntimeError(f"port {self.name} already has a device attached")
+        self.device = device
+
+    def send(self, frame: EthernetFrame) -> bool:
+        """Queue a frame for transmission.
+
+        Returns False (and counts a drop) if the transmit queue is full.
+        """
+        if len(self._queue) >= self.queue_capacity:
+            self.dropped_frames += 1
+            return False
+        self._queue.append(frame)
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames currently waiting (not counting the one on the wire)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        frame = self._queue.popleft()
+        wire_bytes = frame.wire_size + units.ETHERNET_WIRE_OVERHEAD
+        tx_delay = units.transmission_delay(wire_bytes, self.link.bandwidth_bps)
+        self.link.sim.schedule(tx_delay, self._transmit_complete, frame)
+
+    def _transmit_complete(self, frame: EthernetFrame) -> None:
+        self.tx_frames += 1
+        self.tx_bytes += frame.wire_size
+        self.link.sim.schedule(self.link.propagation_delay, self._deliver, frame)
+        self._start_next()
+
+    def _deliver(self, frame: EthernetFrame) -> None:
+        peer = self.peer
+        if peer is None:
+            return
+        peer.rx_frames += 1
+        peer.rx_bytes += frame.wire_size
+        for tap in self.link.taps:
+            tap.observe(self.link.sim.now, frame, self, peer)
+        if peer.device is not None:
+            peer.device.receive_frame(frame, peer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LinkPort {self.name} q={len(self._queue)}/{self.queue_capacity}>"
+
+
+class Link:
+    """A full-duplex point-to-point link with two :class:`LinkPort` ends.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    bandwidth_bps:
+        Per-direction bandwidth (default 100 Mbps Fast Ethernet).
+    propagation_delay:
+        One-way propagation delay in seconds (default ~copper patch cable).
+    queue_capacity:
+        Per-port transmit queue bound, in frames.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "link",
+        bandwidth_bps: float = units.FAST_ETHERNET_BPS,
+        propagation_delay: float = units.microseconds(0.5),
+        queue_capacity: int = 128,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if propagation_delay < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {propagation_delay}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_delay = float(propagation_delay)
+        self.taps: List = []
+        self.port_a = LinkPort(self, f"{name}.a", queue_capacity)
+        self.port_b = LinkPort(self, f"{name}.b", queue_capacity)
+        self.port_a.peer = self.port_b
+        self.port_b.peer = self.port_a
+
+    def add_tap(self, tap) -> None:
+        """Attach a capture tap observing both directions of the link."""
+        self.taps.append(tap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {units.to_mbps(self.bandwidth_bps):.0f}Mbps>"

@@ -1,0 +1,76 @@
+"""Topology builders.
+
+The paper's testbed is a star: four hosts on a single 100 Mbps switch.
+:class:`StarTopology` builds the switch and one link per station, and
+hands back the station-side :class:`~repro.net.link.LinkPort` for a NIC to
+attach to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.link import Link, LinkPort
+from repro.net.switch import EthernetSwitch
+from repro.sim import units
+from repro.sim.engine import Simulator
+
+
+class StarTopology:
+    """A single switch with point-to-point links to each station.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    bandwidth_bps:
+        Link bandwidth for every segment (default 100 Mbps).
+    propagation_delay:
+        One-way propagation delay per segment.
+    queue_capacity:
+        Transmit queue bound for every port.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "lan",
+        bandwidth_bps: float = units.FAST_ETHERNET_BPS,
+        propagation_delay: float = units.microseconds(0.5),
+        queue_capacity: int = 128,
+    ):
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_delay = float(propagation_delay)
+        self.queue_capacity = queue_capacity
+        self.switch = EthernetSwitch(sim, name=f"{name}.switch")
+        self.links: Dict[str, Link] = {}
+
+    def add_station(self, station_name: str) -> LinkPort:
+        """Create a new segment and return the station-side port.
+
+        The switch side is attached automatically; the caller attaches a
+        NIC (or any :class:`~repro.net.link.FrameSink`) to the returned
+        port.
+        """
+        if station_name in self.links:
+            raise ValueError(f"station {station_name!r} already exists")
+        link = Link(
+            self.sim,
+            name=f"{self.name}.{station_name}",
+            bandwidth_bps=self.bandwidth_bps,
+            propagation_delay=self.propagation_delay,
+            queue_capacity=self.queue_capacity,
+        )
+        self.links[station_name] = link
+        self.switch.attach_port(link.port_a)
+        return link.port_b
+
+    def link_for(self, station_name: str) -> Link:
+        """The link serving ``station_name``."""
+        return self.links[station_name]
+
+    def station_names(self) -> List[str]:
+        """Names of all stations, in creation order."""
+        return list(self.links)

@@ -1,0 +1,29 @@
+"""NIC models: standard, EFW and ADF.
+
+The device under test in the paper is the NIC itself.  All three models
+share the framing/attachment machinery of :class:`~repro.nic.base.BaseNic`;
+the embedded firewalls add the bounded single-processor cost engine
+(:mod:`repro.nic.embedded`) whose saturation behaviour *is* the paper's
+denial-of-service result.
+"""
+
+from repro.nic.adf import AdfNic
+from repro.nic.base import BaseNic
+from repro.nic.embedded import EmbeddedFirewallNic
+from repro.nic.efw import EfwNic
+from repro.nic.faults import DenyFloodLockupFault
+from repro.nic.hardened import HARDENED_COST_MODEL, HardenedNic
+from repro.nic.queues import ServiceQueue
+from repro.nic.standard import StandardNic
+
+__all__ = [
+    "AdfNic",
+    "BaseNic",
+    "DenyFloodLockupFault",
+    "EfwNic",
+    "HARDENED_COST_MODEL",
+    "HardenedNic",
+    "EmbeddedFirewallNic",
+    "ServiceQueue",
+    "StandardNic",
+]

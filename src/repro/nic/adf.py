@@ -1,0 +1,28 @@
+"""The Autonomic Distributed Firewall (ADF) NIC model.
+
+The Adventium Labs derivative of the EFW: same hardware platform, a less
+efficient packet-filtering algorithm (≈2× the per-rule cost — paper §5
+infers this from the 33 vs 50 Mbps 64-rule bandwidths), plus Virtual
+Private Groups: encrypted channels with lazy decryption (incoming VPG
+packets are not decrypted until they reach the matching VPG rule).  The
+deny-flood lockup of the EFW is not present in the ADF.
+"""
+
+from __future__ import annotations
+
+from repro import calibration
+from repro.nic.embedded import EmbeddedFirewallNic
+from repro.sim.engine import Simulator
+
+
+class AdfNic(EmbeddedFirewallNic):
+    """The ADF: EFW-derived filtering plus VPG encryption."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "adf",
+        cost_model: calibration.NicCostModel = calibration.ADF_COST_MODEL,
+        ring_size: int = calibration.EMBEDDED_NIC_RING_SIZE,
+    ):
+        super().__init__(sim, name, cost_model=cost_model, ring_size=ring_size)

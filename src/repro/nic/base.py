@@ -1,0 +1,123 @@
+"""Common NIC behaviour: link attachment, host binding, framing.
+
+A NIC sits between a :class:`~repro.host.Host` and a
+:class:`~repro.net.link.LinkPort`:
+
+* egress: ``host.transmit`` -> ``nic.send_packet(packet, dst_mac)`` ->
+  (device-specific processing) -> ``port.send(frame)``,
+* ingress: link delivers -> ``nic.receive_frame(frame, port)`` ->
+  (device-specific processing) -> ``host.deliver_packet(packet)``.
+
+Subclasses implement the device-specific processing by overriding
+``_process_egress`` and ``_process_ingress``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.net.addresses import MacAddress
+from repro.net.link import LinkPort
+from repro.net.packet import ArpMessage, EthernetFrame, Ipv4Packet
+from repro.sim.engine import Simulator
+
+
+class BaseNic:
+    """Base class for all NIC models."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.host = None
+        self.port: Optional[LinkPort] = None
+        self._frame_ids = itertools.count(1)
+        # Counters
+        self.frames_received = 0
+        self.frames_sent = 0
+        self.packets_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, port: LinkPort) -> None:
+        """Attach this NIC to a link endpoint."""
+        if self.port is not None:
+            raise RuntimeError(f"NIC {self.name} already attached")
+        port.attach(self)
+        self.port = port
+
+    def bind_host(self, host) -> None:
+        """Called by :meth:`repro.host.Host.attach_nic`."""
+        if self.host is not None:
+            raise RuntimeError(f"NIC {self.name} already bound to a host")
+        self.host = host
+
+    # ------------------------------------------------------------------
+    # Egress (host -> wire)
+    # ------------------------------------------------------------------
+
+    def send_packet(self, packet: Ipv4Packet, dst_mac: MacAddress) -> None:
+        """Entry point for outbound packets from the host stack."""
+        self._process_egress(packet, dst_mac)
+
+    def _process_egress(self, packet: Ipv4Packet, dst_mac: MacAddress) -> None:
+        raise NotImplementedError
+
+    def _transmit_frame(self, packet: Ipv4Packet, dst_mac: MacAddress) -> None:
+        """Frame the packet and hand it to the link."""
+        if self.port is None:
+            raise RuntimeError(f"NIC {self.name} not attached to a link")
+        frame = EthernetFrame(
+            src_mac=self.host.mac,
+            dst_mac=dst_mac,
+            payload=packet,
+            frame_id=next(self._frame_ids),
+        )
+        self.frames_sent += 1
+        self.port.send(frame)
+
+    # ------------------------------------------------------------------
+    # Ingress (wire -> host)
+    # ------------------------------------------------------------------
+
+    def receive_frame(self, frame: EthernetFrame, port: LinkPort) -> None:
+        """Entry point for frames delivered by the link."""
+        self.frames_received += 1
+        if not self._frame_is_for_us(frame):
+            return
+        if isinstance(frame.payload, ArpMessage):
+            # ARP bypasses the firewall engine: the EFW/ADF filter at the
+            # IP layer, and link-layer resolution must always work.
+            if self.host.arp is not None:
+                self.host.arp.message_arrived(frame.payload)
+            return
+        packet = frame.ip
+        if packet is None:
+            return
+        self._process_ingress(frame, packet)
+
+    def send_arp_frame(self, frame: EthernetFrame) -> None:
+        """Transmit an ARP frame, bypassing the policy engine."""
+        if self.port is None:
+            raise RuntimeError(f"NIC {self.name} not attached to a link")
+        self.frames_sent += 1
+        self.port.send(frame)
+
+    def _process_ingress(self, frame: EthernetFrame, packet: Ipv4Packet) -> None:
+        raise NotImplementedError
+
+    def _deliver_to_host(self, packet: Ipv4Packet) -> None:
+        self.packets_delivered += 1
+        self.host.deliver_packet(packet)
+
+    def _frame_is_for_us(self, frame: EthernetFrame) -> bool:
+        return (
+            frame.dst_mac == self.host.mac
+            or frame.dst_mac.is_broadcast
+            or frame.dst_mac.is_multicast
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,40 @@
+"""The 3Com Embedded Firewall (EFW) NIC model.
+
+Stateless packet filtering on the 3CR990 card: the
+:class:`~repro.nic.embedded.EmbeddedFirewallNic` cost engine with the EFW
+calibration constants, no VPG support, and the deny-flood firmware lockup
+the paper discovered (:mod:`repro.nic.faults`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import calibration
+from repro.crypto.keys import VpgKeyStore
+from repro.firewall.rules import VpgRule
+from repro.firewall.ruleset import RuleSet
+from repro.nic.embedded import EmbeddedFirewallNic
+from repro.nic.faults import DenyFloodLockupFault
+from repro.sim.engine import Simulator
+
+
+class EfwNic(EmbeddedFirewallNic):
+    """The commercial EFW: stateless filtering, no VPGs, lockup bug."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "efw",
+        cost_model: calibration.NicCostModel = calibration.EFW_COST_MODEL,
+        ring_size: int = calibration.EMBEDDED_NIC_RING_SIZE,
+        lockup_enabled: bool = True,
+    ):
+        super().__init__(sim, name, cost_model=cost_model, ring_size=ring_size)
+        self.fault = DenyFloodLockupFault(self, enabled=lockup_enabled)
+
+    def install_policy(self, policy: RuleSet, key_store: Optional[VpgKeyStore] = None) -> None:
+        """Install a policy; the EFW rejects VPG rules (no crypto support)."""
+        if any(isinstance(rule, VpgRule) for rule in policy):
+            raise ValueError("the EFW does not support VPG rules (use the ADF)")
+        super().install_policy(policy, key_store=key_store)

@@ -1,0 +1,314 @@
+"""The embedded firewall NIC processing model (EFW/ADF common core).
+
+The 3CR990-class card runs the filtering firmware on a slow embedded
+processor that every packet — received *and* transmitted — must cross.
+The model is a single-server FIFO (:class:`~repro.nic.queues.ServiceQueue`)
+with a bounded ring and the per-packet service time of
+:mod:`repro.calibration`:
+
+``t = c0 + c_rule * rules_traversed + c_byte * frame_bytes (+ crypto)``
+
+Everything the paper measured falls out of this one mechanism:
+
+* bandwidth loss grows with rule depth (Figure 2),
+* a flood of cheap small frames starves the processor and fills the ring,
+  tail-dropping legitimate traffic (Figure 3a),
+* allowed floods cost double (the host's RST/ICMP responses cross the
+  same processor on the way out), so denying flood traffic doubles the
+  required flood rate (Figure 3b),
+* VPG rules charge real crypto time only when they match — lazy
+  decryption — so non-matching VPGs above the action rule are nearly free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import calibration
+from repro import policy_ports
+from repro.crypto.keys import VpgKeyStore
+from repro.crypto.vpg import VpgContext, VpgError, VpgSealedPayload
+from repro.firewall.rules import Direction, VpgRule
+from repro.firewall.ruleset import RuleSet
+from repro.net.addresses import MacAddress
+from repro.net.packet import EthernetFrame, IpProtocol, Ipv4Packet
+from repro.nic.base import BaseNic
+from repro.nic.queues import ServiceQueue
+from repro.sim import units
+from repro.sim.engine import Simulator
+
+_RX = "rx"
+_TX = "tx"
+
+
+class _WorkItem:
+    """One packet crossing the card's processor."""
+
+    __slots__ = ("kind", "packet", "frame_bytes", "dst_mac", "verdict")
+
+    def __init__(self, kind: str, packet: Ipv4Packet, frame_bytes: int, dst_mac=None):
+        self.kind = kind
+        self.packet = packet
+        self.frame_bytes = frame_bytes
+        self.dst_mac = dst_mac
+        self.verdict = None  # filled when service starts
+
+
+class EmbeddedFirewallNic(BaseNic):
+    """Common machinery for the EFW and ADF cards.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    name:
+        Device label.
+    cost_model:
+        Service-time constants for this device.
+    ring_size:
+        On-card ring bound (frames), shared by the RX and TX paths.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cost_model: calibration.NicCostModel,
+        ring_size: int = calibration.EMBEDDED_NIC_RING_SIZE,
+    ):
+        super().__init__(sim, name)
+        self.cost_model = cost_model
+        self.policy: Optional[RuleSet] = None
+        self.vpg_contexts: Dict[int, VpgContext] = {}
+        #: The ADF avoids decrypting incoming packets until they reach
+        #: the matching VPG rule (paper §4.1).  Setting this False models
+        #: a naive implementation that attempts decryption at every VPG
+        #: rule traversed — the ablation showing why laziness matters.
+        self.lazy_decrypt = True
+        self.fault = None  # installed by subclasses (see repro.nic.faults)
+        self.processor = ServiceQueue(
+            sim,
+            name=f"{name}.proc",
+            capacity=ring_size,
+            service_time=self._service_time,
+            on_complete=self._serviced,
+        )
+        # Counters
+        self.rx_allowed = 0
+        self.rx_denied = 0
+        self.tx_allowed = 0
+        self.tx_denied = 0
+        self.vpg_opened = 0
+        self.vpg_auth_failures = 0
+        self.agent_restarts = 0
+
+    # ------------------------------------------------------------------
+    # Policy management (driven by the policy server)
+    # ------------------------------------------------------------------
+
+    def install_policy(self, policy: RuleSet, key_store: Optional[VpgKeyStore] = None) -> None:
+        """Install a rule-set pushed by the policy server.
+
+        VPG rules require ``key_store`` so the card can derive the group
+        keys for the VPGs it is a member of.
+        """
+        vpg_rules = [rule for rule in policy if isinstance(rule, VpgRule)]
+        if vpg_rules and key_store is None:
+            raise ValueError("policy contains VPG rules but no key store was given")
+        self.policy = policy
+        self.vpg_contexts = {
+            rule.vpg_id: key_store.context_for(rule.vpg_id) for rule in vpg_rules
+        }
+
+    def clear_policy(self) -> None:
+        """Remove the installed policy (card passes traffic unfiltered)."""
+        self.policy = None
+        self.vpg_contexts = {}
+
+    @property
+    def wedged(self) -> bool:
+        """True while the card's firmware is locked up."""
+        return self.processor.paused
+
+    def restart_agent(self) -> None:
+        """Restart the firewall agent software.
+
+        The paper's only recovery from the EFW deny-all lockup:
+        "Restarting the firewall agent software restored functionality to
+        the NIC until the next flood test."
+        """
+        self.agent_restarts += 1
+        if self.fault is not None:
+            self.fault.reset()
+        self.processor.resume()
+
+    # ------------------------------------------------------------------
+    # Ingress / egress entry points
+    # ------------------------------------------------------------------
+
+    def _process_ingress(self, frame: EthernetFrame, packet: Ipv4Packet) -> None:
+        self.processor.offer(_WorkItem(_RX, packet, frame.wire_size))
+
+    def _process_egress(self, packet: Ipv4Packet, dst_mac: MacAddress) -> None:
+        frame_bytes = max(
+            packet.size + units.ETHERNET_HEADER + units.ETHERNET_FCS,
+            units.ETHERNET_MIN_FRAME,
+        )
+        self.processor.offer(_WorkItem(_TX, packet, frame_bytes, dst_mac))
+
+    # ------------------------------------------------------------------
+    # Processor service
+    # ------------------------------------------------------------------
+
+    def _service_time(self, item: _WorkItem) -> float:
+        if self.policy is None:
+            item.verdict = _Verdict(allowed=True)
+            return self.cost_model.service_time(item.frame_bytes, rules_traversed=0)
+        if item.kind == _RX:
+            return self._classify_ingress(item)
+        return self._classify_egress(item)
+
+    def _classify_ingress(self, item: _WorkItem) -> float:
+        packet = item.packet
+        if policy_ports.is_control_traffic(packet):
+            # The firewall agent's channel to the policy server is
+            # reserved: it bypasses the rule table (but still costs
+            # processor time, so a wedged card silences it).
+            item.verdict = _Verdict(allowed=True)
+            return self.cost_model.service_time(item.frame_bytes, rules_traversed=0)
+        sealed = packet.payload if isinstance(packet.payload, VpgSealedPayload) else None
+        if packet.protocol == IpProtocol.VPG and sealed is not None:
+            result = self.policy.evaluate_encrypted(sealed.spi)
+            vpg_matched = result.is_vpg and result.allowed
+            item.verdict = _Verdict(
+                allowed=result.allowed and vpg_matched,
+                vpg_id=result.rule.vpg_id if vpg_matched else None,
+            )
+            cost = self.cost_model.service_time(
+                item.frame_bytes,
+                rules_traversed=result.rules_traversed,
+                vpg_bytes=sealed.size,
+                vpg_matched=vpg_matched,
+            )
+            if not self.lazy_decrypt:
+                # Eager variant: a trial decryption is charged for every
+                # non-matching VPG rule walked past.
+                extra_attempts = max(0, self._vpg_rules_traversed(result) - 1)
+                cost += extra_attempts * (
+                    self.cost_model.c_vpg0 + self.cost_model.c_vpg_byte * sealed.size
+                )
+            return cost
+        result = self.policy.evaluate(packet, Direction.INBOUND)
+        # A plaintext packet matching a VPG rule's selector is spoofed
+        # traffic: group members always encrypt, so admission requires a
+        # valid VPG encapsulation (sender authentication).
+        allowed = result.allowed and not result.is_vpg
+        item.verdict = _Verdict(allowed=allowed)
+        return self.cost_model.service_time(
+            item.frame_bytes, rules_traversed=result.rules_traversed
+        )
+
+    def _classify_egress(self, item: _WorkItem) -> float:
+        packet = item.packet
+        if policy_ports.is_control_traffic(packet):
+            item.verdict = _Verdict(allowed=True)
+            return self.cost_model.service_time(item.frame_bytes, rules_traversed=0)
+        result = self.policy.evaluate(packet, Direction.OUTBOUND)
+        vpg_matched = result.is_vpg and result.allowed
+        item.verdict = _Verdict(
+            allowed=result.allowed,
+            vpg_id=result.rule.vpg_id if vpg_matched else None,
+        )
+        return self.cost_model.service_time(
+            item.frame_bytes,
+            rules_traversed=result.rules_traversed,
+            vpg_bytes=packet.size,
+            vpg_matched=vpg_matched,
+        )
+
+    def _vpg_rules_traversed(self, result) -> int:
+        """VPG rules walked up to (and including) the matching rule."""
+        count = 0
+        for rule in self.policy:
+            if isinstance(rule, VpgRule):
+                count += 1
+            if rule is result.rule:
+                break
+        return count
+
+    # ------------------------------------------------------------------
+    # Verdict application
+    # ------------------------------------------------------------------
+
+    def _serviced(self, item: _WorkItem) -> None:
+        if item.kind == _RX:
+            self._finish_ingress(item)
+        else:
+            self._finish_egress(item)
+
+    def _finish_ingress(self, item: _WorkItem) -> None:
+        verdict = item.verdict
+        if not verdict.allowed:
+            self.rx_denied += 1
+            self.sim.tracer.emit(
+                self.sim.now, self.name, "rx-deny", packet=item.packet.describe()
+            )
+            if self.fault is not None:
+                self.fault.record_deny(self.sim.now)
+            return
+        packet = item.packet
+        if verdict.vpg_id is not None:
+            context = self.vpg_contexts.get(verdict.vpg_id)
+            if context is None:
+                self.rx_denied += 1
+                return
+            try:
+                packet = context.open(packet)
+            except VpgError:
+                self.vpg_auth_failures += 1
+                return
+            self.vpg_opened += 1
+        self.rx_allowed += 1
+        self._deliver_to_host(packet)
+
+    def _finish_egress(self, item: _WorkItem) -> None:
+        verdict = item.verdict
+        if not verdict.allowed:
+            self.tx_denied += 1
+            self.sim.tracer.emit(
+                self.sim.now, self.name, "tx-deny", packet=item.packet.describe()
+            )
+            return
+        packet = item.packet
+        if verdict.vpg_id is not None:
+            context = self.vpg_contexts.get(verdict.vpg_id)
+            if context is None:
+                self.tx_denied += 1
+                return
+            packet = context.seal(packet, outer_src=packet.src, outer_dst=packet.dst)
+        self.tx_allowed += 1
+        self._transmit_frame(packet, item.dst_mac)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    @property
+    def ring_drops(self) -> int:
+        """Frames dropped because the ring was full."""
+        return self.processor.dropped_full
+
+    @property
+    def wedged_drops(self) -> int:
+        """Frames dropped while the card was locked up."""
+        return self.processor.dropped_paused
+
+
+class _Verdict:
+    """Cached classification for a work item."""
+
+    __slots__ = ("allowed", "vpg_id")
+
+    def __init__(self, allowed: bool, vpg_id: Optional[int] = None):
+        self.allowed = allowed
+        self.vpg_id = vpg_id

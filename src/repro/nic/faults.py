@@ -1,0 +1,82 @@
+"""Firmware fault models.
+
+The paper found (§4.3) that the EFW card *stops processing packets
+entirely* when a deny-all policy drops more than ~1000 packets/s, and
+that only restarting the firewall agent software restores it:
+
+    "During the experiments it was not possible to capture any data for
+    the EFW Deny-All case, because the card would stop processing packets
+    when it was flooded with over 1000 packets/s.  Restarting the
+    firewall agent software restored functionality to the NIC until the
+    next flood test.  No solution was found."
+
+:class:`DenyFloodLockupFault` reproduces that behaviour: it watches the
+card's ingress deny events in a sliding window and wedges the packet
+processor when the sustained deny rate crosses the threshold.  The ADF —
+a later derivative — does not exhibit the bug, so only
+:class:`~repro.nic.efw.EfwNic` installs it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro import calibration
+
+
+class DenyFloodLockupFault:
+    """Wedges a NIC when its ingress deny rate exceeds a threshold.
+
+    Parameters
+    ----------
+    nic:
+        The :class:`~repro.nic.embedded.EmbeddedFirewallNic` to monitor.
+    rate_threshold:
+        Sustained denies/second that trigger the lockup.
+    window:
+        Sliding window (seconds) over which the rate is estimated.
+    enabled:
+        Set False to run ablations with the bug patched out.
+    """
+
+    def __init__(
+        self,
+        nic,
+        rate_threshold: float = calibration.EFW_LOCKUP_DENY_RATE,
+        window: float = calibration.EFW_LOCKUP_WINDOW,
+        enabled: bool = True,
+    ):
+        if rate_threshold <= 0:
+            raise ValueError(f"rate threshold must be positive, got {rate_threshold}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.nic = nic
+        self.rate_threshold = float(rate_threshold)
+        self.window = float(window)
+        self.enabled = enabled
+        self._deny_times: Deque[float] = deque()
+        self.lockups = 0
+        self.locked_at: Optional[float] = None
+
+    def record_deny(self, now: float) -> None:
+        """Note one ingress deny; wedge the card if the rate is sustained."""
+        if not self.enabled or self.nic.processor.paused:
+            return
+        self._deny_times.append(now)
+        horizon = now - self.window
+        while self._deny_times and self._deny_times[0] < horizon:
+            self._deny_times.popleft()
+        if len(self._deny_times) / self.window > self.rate_threshold:
+            self._wedge(now)
+
+    def _wedge(self, now: float) -> None:
+        self.lockups += 1
+        self.locked_at = now
+        self._deny_times.clear()
+        self.nic.processor.pause(drop_queued=True)
+
+    def reset(self) -> None:
+        """Clear fault state (called by the agent restart)."""
+        self._deny_times.clear()
+        self.locked_at = None

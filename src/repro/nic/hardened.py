@@ -1,0 +1,61 @@
+"""A hypothetical flood-tolerant embedded firewall NIC (future work).
+
+The paper closes with: "It is our hope that this research encourages the
+development of new embedded firewall devices that have sufficient
+tolerance to simple packet flood attacks."  This model explores what that
+would take on the same architecture:
+
+* **parallel rule lookup** (TCAM-class), removing the per-rule linear
+  cost that Figure 2 exposes (``c_rule = 0``),
+* a **faster filtering path** whose fixed + per-byte cost keeps the
+  64-byte worst case above the wire's maximum frame rate
+  (148,810 pps on 100 Mbps needs < 6.7 µs per packet even with a
+  response crossing the card per flood packet),
+* the EFW's deny-flood firmware defect absent by construction.
+
+With the default constants the card sustains minimum-size wire-rate
+floods with both the flood and its responses crossing the processor:
+``t(64 B) = 1.6 + 64·0.024 ≈ 3.14 µs`` per packet, ~6.3 µs per
+flood+response pair — just inside the 6.72 µs frame time.  The paper's
+§2 remark that "hardware designed especially for packet filtering ...
+possibly would have been able to withstand a packet flood attack" is the
+design target; the experiment layer verifies it: bandwidth flat to 64
+rules, and a denial of service requires saturating the 100 Mbps wire
+itself (~148 k pps), exactly like a host behind a bare NIC — the
+firewall is never the weaker link.
+
+VPG crypto remains costly (it is compute, not lookup), so the hardened
+card narrows but does not erase the VPG bandwidth gap.
+"""
+
+from __future__ import annotations
+
+from repro import calibration
+from repro.nic.embedded import EmbeddedFirewallNic
+from repro.sim.engine import Simulator
+
+_US = 1e-6
+
+#: The hardened card's cost model: TCAM lookup (no per-rule cost), a
+#: fast store-and-forward path, and hardware-assisted crypto.
+HARDENED_COST_MODEL = calibration.NicCostModel(
+    c0=1.6 * _US,
+    c_rule=0.0,
+    c_byte=0.024 * _US,
+    c_vpg0=4.0 * _US,
+    c_vpg_byte=0.02 * _US,
+)
+
+
+class HardenedNic(EmbeddedFirewallNic):
+    """The paper's wished-for device: an embedded firewall that tolerates
+    wire-rate packet floods."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "hardened",
+        cost_model: calibration.NicCostModel = HARDENED_COST_MODEL,
+        ring_size: int = 256,
+    ):
+        super().__init__(sim, name, cost_model=cost_model, ring_size=ring_size)

@@ -1,0 +1,165 @@
+"""A bounded single-server work queue with per-item service times.
+
+This is the heart of every processing-capacity model in the simulator:
+
+* the embedded firewall NIC's packet processor (one slow CPU serving both
+  the receive and transmit paths, with a bounded RX ring), and
+* the host's netfilter/iptables softirq path.
+
+Items are served strictly FIFO.  The caller supplies a service-time
+function; items offered while the queue is at capacity are dropped and
+counted.  This is exactly the mechanism by which an offered packet flood
+starves legitimate traffic: the flood keeps the server busy and the ring
+full, so legitimate frames are tail-dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.sim.engine import Simulator
+
+
+class ServiceQueue:
+    """Bounded FIFO with one server and caller-supplied service times.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    name:
+        Label for counters and traces.
+    capacity:
+        Maximum queued items (not counting the one in service).
+    service_time:
+        ``service_time(item) -> seconds`` the server spends on the item.
+    on_complete:
+        ``on_complete(item)`` invoked when the item finishes service.
+
+    Notes
+    -----
+    The queue may be paused (see :meth:`pause`); a paused queue accepts no
+    new work and performs no service — this models the EFW's wedged state,
+    where the card stops processing packets entirely.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        capacity: int,
+        service_time: Callable[[Any], float],
+        on_complete: Callable[[Any], None],
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.service_time = service_time
+        self.on_complete = on_complete
+        self._queue: Deque[Any] = deque()
+        self._busy = False
+        self._paused = False
+        self._service_event = None
+        # Counters
+        self.accepted = 0
+        self.completed = 0
+        self.dropped_full = 0
+        self.dropped_paused = 0
+        self.busy_time = 0.0
+        self._service_started: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def offer(self, item: Any) -> bool:
+        """Submit an item.  Returns False (and counts) if it was dropped."""
+        if self._paused:
+            self.dropped_paused += 1
+            return False
+        if len(self._queue) >= self.capacity:
+            self.dropped_full += 1
+            self.sim.tracer.emit(self.sim.now, self.name, "drop-full")
+            return False
+        self.accepted += 1
+        self._queue.append(item)
+        if not self._busy:
+            self._start_next()
+        return True
+
+    @property
+    def depth(self) -> int:
+        """Items waiting for service (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """True while an item is in service."""
+        return self._busy
+
+    @property
+    def paused(self) -> bool:
+        """True while the server is wedged/paused."""
+        return self._paused
+
+    # ------------------------------------------------------------------
+
+    def pause(self, drop_queued: bool = True) -> None:
+        """Stop serving.  Models a wedged processor.
+
+        Any in-service item is abandoned (it never completes).  Queued
+        items are dropped when ``drop_queued`` is True.
+        """
+        self.sim.tracer.emit(self.sim.now, self.name, "pause")
+        self._paused = True
+        self._busy = False
+        self._service_started = None
+        if self._service_event is not None:
+            # The in-service item is abandoned: its completion must never
+            # fire, even if the server is later resumed.
+            self._service_event.cancel()
+            self._service_event = None
+        if drop_queued:
+            self.dropped_paused += len(self._queue)
+            self._queue.clear()
+
+    def resume(self) -> None:
+        """Resume serving after a pause (e.g. firewall agent restart)."""
+        if not self._paused:
+            return
+        self._paused = False
+        if self._queue and not self._busy:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+
+    def _start_next(self) -> None:
+        if self._paused or not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        item = self._queue.popleft()
+        duration = self.service_time(item)
+        if duration < 0:
+            raise ValueError(f"negative service time {duration} from {self.name}")
+        self._service_started = self.sim.now
+        self._service_event = self.sim.schedule(duration, self._finish, item, duration)
+
+    def _finish(self, item: Any, duration: float) -> None:
+        self._service_event = None
+        self.completed += 1
+        self.busy_time += duration
+        self._service_started = None
+        self.on_complete(item)
+        self._start_next()
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the server spent busy."""
+        if elapsed <= 0:
+            raise ValueError("elapsed must be positive")
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "paused" if self._paused else ("busy" if self._busy else "idle")
+        return f"<ServiceQueue {self.name} {state} depth={len(self._queue)}>"

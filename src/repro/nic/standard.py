@@ -1,0 +1,43 @@
+"""A standard non-filtering NIC (Intel EEPro 100-class).
+
+The control experiment's hardware: forwards at wire speed in both
+directions with a fixed, tiny per-packet latency and no policy.  The
+paper used it to show that the switch and infrastructure contribute no
+measurable loss — any loss seen with the EFW/ADF is the firewall's.
+"""
+
+from __future__ import annotations
+
+from repro import calibration
+from repro.net.addresses import MacAddress
+from repro.net.packet import EthernetFrame, Ipv4Packet
+from repro.nic.base import BaseNic
+from repro.sim.engine import Simulator
+
+
+class StandardNic(BaseNic):
+    """Wire-speed NIC with no filtering.
+
+    The per-packet cost is far below the wire's per-frame time, so the
+    device is never the bottleneck; it is modelled as a fixed pipeline
+    latency rather than a contended queue.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "eepro100",
+        cost_model: calibration.NicCostModel = calibration.STANDARD_NIC_COST_MODEL,
+    ):
+        super().__init__(sim, name)
+        self.cost_model = cost_model
+
+    def _process_egress(self, packet: Ipv4Packet, dst_mac: MacAddress) -> None:
+        delay = self.cost_model.service_time(frame_bytes=packet.size, rules_traversed=0)
+        self.sim.schedule(delay, self._transmit_frame, packet, dst_mac)
+
+    def _process_ingress(self, frame: EthernetFrame, packet: Ipv4Packet) -> None:
+        delay = self.cost_model.service_time(
+            frame_bytes=frame.wire_size, rules_traversed=0
+        )
+        self.sim.schedule(delay, self._deliver_to_host, packet)

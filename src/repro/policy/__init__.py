@@ -1,0 +1,17 @@
+"""Central policy plane: server, NIC agents, VPG groups, audit trail."""
+
+from repro.policy.audit import AuditEvent, AuditEventKind, AuditLog
+from repro.policy.groups import VpgGroup, VpgGroupManager
+from repro.policy.server import AGENT_PORT, HEARTBEAT_PORT, NicAgent, PolicyServer
+
+__all__ = [
+    "AGENT_PORT",
+    "HEARTBEAT_PORT",
+    "AuditEvent",
+    "AuditEventKind",
+    "AuditLog",
+    "NicAgent",
+    "PolicyServer",
+    "VpgGroup",
+    "VpgGroupManager",
+]

@@ -1,0 +1,68 @@
+"""Policy server audit trail.
+
+Every policy action (definition, assignment, push, agent restart) is
+recorded with its virtual timestamp.  Mirrors the EFW policy server's
+central audit role in the distributed-firewall architecture (Bellovin;
+Payne & Markham): the audit trail is how an administrator reconstructs
+which host enforced which policy when.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class AuditEventKind(enum.Enum):
+    """Types of audited policy-server actions."""
+
+    POLICY_DEFINED = "policy-defined"
+    POLICY_ASSIGNED = "policy-assigned"
+    POLICY_PUSHED = "policy-pushed"
+    PUSH_FAILED = "push-failed"
+    VPG_CREATED = "vpg-created"
+    VPG_MEMBER_ADDED = "vpg-member-added"
+    AGENT_RESTARTED = "agent-restarted"
+    HEARTBEAT_MISSED = "heartbeat-missed"
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One audit record."""
+
+    time: float
+    kind: AuditEventKind
+    subject: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{key}={value}" for key, value in sorted(self.details.items()))
+        return f"[{self.time:.6f}] {self.kind.value} {self.subject} {extras}".rstrip()
+
+
+class AuditLog:
+    """Append-only audit store with simple querying."""
+
+    def __init__(self) -> None:
+        self._events: List[AuditEvent] = []
+
+    def record(self, time: float, kind: AuditEventKind, subject: str, **details: Any) -> None:
+        """Append one event."""
+        self._events.append(AuditEvent(time=time, kind=kind, subject=subject, details=details))
+
+    def events(
+        self,
+        kind: Optional[AuditEventKind] = None,
+        subject: Optional[str] = None,
+    ) -> List[AuditEvent]:
+        """Events, optionally filtered by kind and/or subject."""
+        result = self._events
+        if kind is not None:
+            result = [event for event in result if event.kind == kind]
+        if subject is not None:
+            result = [event for event in result if event.subject == subject]
+        return list(result)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,98 @@
+"""Virtual Private Group management.
+
+A VPG (Carney, Hanzlik & Markham) is a set of hosts sharing an encrypted
+channel with a common key, enforced by their ADF NICs.  The group manager
+allocates group identifiers (SPIs), tracks membership, and produces the
+:class:`~repro.firewall.rules.VpgRule` entries that member policies embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.firewall.rules import Action, AddressPattern, PortRange, VpgRule
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpProtocol
+
+
+@dataclass
+class VpgGroup:
+    """One virtual private group."""
+
+    vpg_id: int
+    name: str
+    members: Set[Ipv4Address] = field(default_factory=set)
+    #: Restrict the protected traffic (None = all protocols/ports).
+    protocol: Optional[IpProtocol] = None
+    port: Optional[int] = None
+
+    def rule_for_member(self, member: Ipv4Address) -> VpgRule:
+        """The VPG rule entry for one member's policy.
+
+        The selector describes the *protected service* (protocol/port),
+        not the member's own address: symmetric matching then covers both
+        the member's requests toward the service and the responses coming
+        back.  Group membership itself is enforced cryptographically —
+        only members hold the group key, and plaintext packets matching a
+        VPG selector are dropped by the NIC (sender authentication).
+        """
+        if member not in self.members:
+            raise ValueError(f"{member} is not a member of VPG {self.name!r}")
+        return VpgRule(
+            action=Action.ALLOW,
+            protocol=self.protocol,
+            src=AddressPattern.any(),
+            dst=AddressPattern.any(),
+            dst_ports=(
+                PortRange.single(self.port) if self.port is not None else PortRange.any()
+            ),
+            name=f"vpg-{self.name}",
+            vpg_id=self.vpg_id,
+        )
+
+
+class VpgGroupManager:
+    """Allocates VPG identifiers and tracks membership."""
+
+    def __init__(self, first_id: int = 1):
+        self._next_id = first_id
+        self._groups: Dict[int, VpgGroup] = {}
+        self._by_name: Dict[str, int] = {}
+
+    def create_group(
+        self,
+        name: str,
+        protocol: Optional[IpProtocol] = None,
+        port: Optional[int] = None,
+    ) -> VpgGroup:
+        """Create a new group with a fresh identifier."""
+        if name in self._by_name:
+            raise ValueError(f"VPG {name!r} already exists")
+        group = VpgGroup(vpg_id=self._next_id, name=name, protocol=protocol, port=port)
+        self._groups[group.vpg_id] = group
+        self._by_name[name] = group.vpg_id
+        self._next_id += 1
+        return group
+
+    def add_member(self, group: VpgGroup, member: Ipv4Address) -> None:
+        """Add ``member`` to ``group``."""
+        group.members.add(member)
+
+    def group(self, name: str) -> VpgGroup:
+        """Look up a group by name."""
+        vpg_id = self._by_name.get(name)
+        if vpg_id is None:
+            raise KeyError(f"no VPG named {name!r}")
+        return self._groups[vpg_id]
+
+    def groups_for(self, member: Ipv4Address) -> List[VpgGroup]:
+        """All groups ``member`` belongs to, by ascending id."""
+        return [
+            group
+            for _vpg_id, group in sorted(self._groups.items())
+            if member in group.members
+        ]
+
+    def __len__(self) -> int:
+        return len(self._groups)

@@ -1,0 +1,295 @@
+"""The central policy server.
+
+The distributed-firewall model (Bellovin) defines policy centrally and
+enforces it at the end points; the EFW ships a Windows policy server that
+pushes rule-sets to the NIC agents.  This model reproduces that control
+plane:
+
+* named policies (rule-sets) defined centrally,
+* per-host assignment and push, with the push carried as real UDP
+  traffic over the simulated network (so a flooded card can also miss
+  policy updates — an operational hazard the paper's lockup observation
+  hints at),
+* VPG key distribution via :class:`~repro.crypto.keys.VpgKeyStore`,
+* an audit trail of every action.
+
+For unit tests and simple experiments, ``push_policy(..., inline=True)``
+installs the policy directly without the network round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.crypto.keys import VpgKeyStore
+from repro.firewall.ruleset import RuleSet
+from repro.policy.audit import AuditEventKind, AuditLog
+from repro.policy.groups import VpgGroup, VpgGroupManager
+from repro.sim.timer import PeriodicTimer
+
+from repro.policy_ports import AGENT_PORT, HEARTBEAT_PORT  # noqa: F401  (re-export)
+
+#: Approximate encoding size of one rule in the push protocol (bytes).
+RULE_WIRE_SIZE = 32
+
+
+class PolicyServer:
+    """Central policy definition and distribution.
+
+    Parameters
+    ----------
+    host:
+        The :class:`~repro.host.Host` the server runs on (the testbed's
+        dedicated policy-server machine).
+    """
+
+    def __init__(self, host):
+        self.host = host
+        self.sim = host.sim
+        self.audit = AuditLog()
+        self.key_store = VpgKeyStore()
+        self.vpg_manager = VpgGroupManager()
+        self._policies: Dict[str, RuleSet] = {}
+        self._assignments: Dict[str, str] = {}  # host name -> policy name
+        self._agents: Dict[str, "NicAgent"] = {}
+        self.pushes_sent = 0
+        self.pushes_acked = 0
+        # Heartbeat monitoring.
+        self._heartbeat_socket = None
+        self._heartbeat_timer: Optional[PeriodicTimer] = None
+        self._heartbeat_grace = 0.0
+        self._last_heartbeat: Dict[str, float] = {}
+        self._silent: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Policy definition
+    # ------------------------------------------------------------------
+
+    def define_policy(self, name: str, ruleset: RuleSet) -> None:
+        """Register (or replace) a named policy."""
+        self._policies[name] = ruleset
+        self.audit.record(
+            self.sim.now,
+            AuditEventKind.POLICY_DEFINED,
+            name,
+            rules=ruleset.table_size,
+        )
+
+    def policy(self, name: str) -> RuleSet:
+        """Look up a policy by name."""
+        if name not in self._policies:
+            raise KeyError(f"no policy named {name!r}")
+        return self._policies[name]
+
+    # ------------------------------------------------------------------
+    # Agents
+    # ------------------------------------------------------------------
+
+    def register_agent(self, agent: "NicAgent") -> None:
+        """Register a NIC agent for policy distribution."""
+        self._agents[agent.host.name] = agent
+
+    def assign(self, host_name: str, policy_name: str) -> None:
+        """Assign a policy to a host (pushed by :meth:`push_policy`)."""
+        if policy_name not in self._policies:
+            raise KeyError(f"no policy named {policy_name!r}")
+        self._assignments[host_name] = policy_name
+        self.audit.record(
+            self.sim.now,
+            AuditEventKind.POLICY_ASSIGNED,
+            host_name,
+            policy=policy_name,
+        )
+
+    def push_policy(self, host_name: str, inline: bool = False) -> None:
+        """Push the assigned policy to a host's NIC agent.
+
+        With ``inline=True`` the rule-set is installed synchronously;
+        otherwise the push travels as UDP traffic over the simulated
+        network and the agent installs it on receipt.
+        """
+        policy_name = self._assignments.get(host_name)
+        if policy_name is None:
+            raise KeyError(f"host {host_name!r} has no assigned policy")
+        agent = self._agents.get(host_name)
+        if agent is None:
+            raise KeyError(f"host {host_name!r} has no registered agent")
+        ruleset = self._policies[policy_name]
+        self.pushes_sent += 1
+        if inline:
+            agent.install(ruleset, self.key_store)
+            self.pushes_acked += 1
+            self.audit.record(
+                self.sim.now,
+                AuditEventKind.POLICY_PUSHED,
+                host_name,
+                policy=policy_name,
+                transport="inline",
+            )
+            return
+        payload_size = 16 + RULE_WIRE_SIZE * ruleset.table_size
+        agent.expect_push(policy_name, ruleset, self.key_store, self)
+        socket = self.host.udp.bind(0)
+        socket.send(
+            agent.host.ip,
+            AGENT_PORT,
+            size=payload_size,
+            data=policy_name.encode("ascii"),
+        )
+        socket.close()
+
+    def push_all(self, inline: bool = False) -> None:
+        """Push every assigned policy."""
+        for host_name in list(self._assignments):
+            self.push_policy(host_name, inline=inline)
+
+    def push_confirmed(self, host_name: str, policy_name: str) -> None:
+        """Called by the agent when a networked push is installed."""
+        self.pushes_acked += 1
+        self.audit.record(
+            self.sim.now,
+            AuditEventKind.POLICY_PUSHED,
+            host_name,
+            policy=policy_name,
+            transport="udp",
+        )
+
+    # ------------------------------------------------------------------
+    # VPG administration
+    # ------------------------------------------------------------------
+
+    def create_vpg_group(self, name: str, protocol=None, port=None) -> VpgGroup:
+        """Create a VPG centrally (audited); keys derive on first use."""
+        group = self.vpg_manager.create_group(name, protocol=protocol, port=port)
+        self.audit.record(
+            self.sim.now, AuditEventKind.VPG_CREATED, name, vpg_id=group.vpg_id
+        )
+        return group
+
+    def add_vpg_member(self, group: VpgGroup, member_ip) -> None:
+        """Enroll a host in a VPG (audited)."""
+        self.vpg_manager.add_member(group, member_ip)
+        self.audit.record(
+            self.sim.now,
+            AuditEventKind.VPG_MEMBER_ADDED,
+            group.name,
+            member=str(member_ip),
+        )
+
+    # ------------------------------------------------------------------
+    # Agent liveness (heartbeats)
+    # ------------------------------------------------------------------
+
+    def enable_heartbeat_monitor(self, check_interval: float = 1.0, grace: float = 2.5) -> None:
+        """Listen for agent heartbeats and audit hosts that fall silent.
+
+        A wedged EFW cannot transmit (its processor is the egress path),
+        so its heartbeats stop — the central server notices the lockup
+        the paper's operators had to discover by hand.
+        """
+        if self._heartbeat_socket is not None:
+            raise RuntimeError("heartbeat monitor already enabled")
+        self._heartbeat_grace = grace
+        self._heartbeat_socket = self.host.udp.bind(
+            HEARTBEAT_PORT, self._heartbeat_received
+        )
+        # Every registered agent is expected to report from now on; an
+        # agent that never manages a single heartbeat is just as silent
+        # as one that stopped.
+        for host_name in self._agents:
+            self._last_heartbeat.setdefault(host_name, self.sim.now)
+        self._heartbeat_timer = PeriodicTimer(self.sim, check_interval, self._check_heartbeats)
+        self._heartbeat_timer.start()
+
+    def agent_is_silent(self, host_name: str) -> bool:
+        """True if the host's agent missed its heartbeat window."""
+        return self._silent.get(host_name, False)
+
+    def _heartbeat_received(self, src_ip, src_port, size, data) -> None:
+        host_name = data.decode("ascii", errors="replace")
+        self._last_heartbeat[host_name] = self.sim.now
+        self._silent[host_name] = False
+
+    def _check_heartbeats(self) -> None:
+        for host_name, last_seen in self._last_heartbeat.items():
+            silent = (self.sim.now - last_seen) > self._heartbeat_grace
+            if silent and not self._silent.get(host_name, False):
+                self.audit.record(
+                    self.sim.now,
+                    AuditEventKind.HEARTBEAT_MISSED,
+                    host_name,
+                    last_seen=round(last_seen, 6),
+                )
+            self._silent[host_name] = silent
+
+
+class NicAgent:
+    """The host-side firewall agent that manages the NIC.
+
+    Listens for policy pushes on :data:`AGENT_PORT` and installs received
+    rule-sets into the NIC.  Also exposes the agent-restart operation —
+    the recovery path for the EFW lockup.
+    """
+
+    def __init__(self, host, nic):
+        self.host = host
+        self.nic = nic
+        self._pending: Dict[str, tuple] = {}
+        self.installs = 0
+        self._socket = host.udp.bind(AGENT_PORT, self._push_received)
+        self._heartbeat_timer: Optional[PeriodicTimer] = None
+        self.heartbeats_sent = 0
+
+    def expect_push(self, policy_name: str, ruleset: RuleSet, key_store: VpgKeyStore, server: PolicyServer) -> None:
+        """Stage a policy the server is about to push over the network.
+
+        (The real protocol carries the full encoded rule-set; carrying
+        the object out-of-band with an on-wire payload of the same size
+        keeps the traffic model honest without a codec.)
+        """
+        self._pending[policy_name] = (ruleset, key_store, server)
+
+    def install(self, ruleset: RuleSet, key_store: Optional[VpgKeyStore] = None) -> None:
+        """Install a rule-set into the NIC immediately."""
+        self.nic.install_policy(ruleset, key_store=key_store)
+        self.installs += 1
+
+    def restart(self) -> None:
+        """Restart the agent (recovers a wedged EFW)."""
+        self.nic.restart_agent()
+
+    def start_heartbeat(self, server_ip, interval: float = 1.0) -> None:
+        """Send periodic liveness beacons to the policy server.
+
+        The beacons traverse the NIC like any other traffic, so a wedged
+        card silences them — which is exactly what makes them useful.
+        """
+        if self._heartbeat_timer is not None:
+            raise RuntimeError("heartbeat already started")
+
+        def beat() -> None:
+            self.heartbeats_sent += 1
+            self._socket.send(
+                server_ip,
+                HEARTBEAT_PORT,
+                size=16 + len(self.host.name),
+                data=self.host.name.encode("ascii"),
+            )
+
+        self._heartbeat_timer = PeriodicTimer(self.host.sim, interval, beat)
+        self._heartbeat_timer.start(initial_delay=0.0)
+
+    def stop_heartbeat(self) -> None:
+        """Stop sending liveness beacons.  Idempotent."""
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.stop()
+            self._heartbeat_timer = None
+
+    def _push_received(self, src_ip, src_port, size, data) -> None:
+        policy_name = data.decode("ascii", errors="replace")
+        staged = self._pending.pop(policy_name, None)
+        if staged is None:
+            return
+        ruleset, key_store, server = staged
+        self.install(ruleset, key_store)
+        server.push_confirmed(self.host.name, policy_name)

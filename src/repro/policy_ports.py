@@ -1,0 +1,31 @@
+"""Reserved control-plane ports.
+
+The EFW architecture keeps the firewall agent's channel to the policy
+server outside the enforced rule-set — a card whose policy blocked its
+own management plane could never be re-policied.  This dependency-leaf
+module gives the NIC models and the policy layer one shared definition.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import IpProtocol, Ipv4Packet
+
+#: UDP port the NIC agents listen on for policy pushes.
+AGENT_PORT = 3845
+
+#: UDP port the policy server listens on for agent heartbeats.
+HEARTBEAT_PORT = 3846
+
+_CONTROL_PORTS = frozenset((AGENT_PORT, HEARTBEAT_PORT))
+
+
+def is_control_traffic(packet: Ipv4Packet) -> bool:
+    """True for agent/policy-server control-plane datagrams."""
+    if packet.protocol != IpProtocol.UDP:
+        return False
+    datagram = packet.udp
+    if datagram is None:
+        return False
+    return (
+        datagram.dst_port in _CONTROL_PORTS or datagram.src_port in _CONTROL_PORTS
+    )

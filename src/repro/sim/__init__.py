@@ -1,0 +1,43 @@
+"""Discrete-event simulation engine.
+
+This package provides the deterministic discrete-event kernel that every
+other subsystem (links, switches, NICs, host stacks, applications) is built
+on.  The design is deliberately small:
+
+* :class:`~repro.sim.engine.Simulator` owns the virtual clock and the event
+  heap.
+* :class:`~repro.sim.engine.Event` is a cancellable handle returned by
+  ``Simulator.schedule``.
+* :mod:`~repro.sim.timer` provides one-shot and periodic timers on top of
+  the kernel.
+* :mod:`~repro.sim.rng` provides named, independently-seeded random streams
+  so that component behaviour is reproducible regardless of the order in
+  which other components draw random numbers.
+* :mod:`~repro.sim.units` centralises unit conversions (seconds,
+  microseconds, bits-per-second, frame sizes) so magic numbers do not leak
+  into the models.
+* :mod:`~repro.sim.trace` is a lightweight structured trace facility used
+  by tests and debugging tools.
+
+All simulation times are ``float`` seconds.  Determinism is guaranteed by a
+monotonically increasing sequence number that breaks ties between events
+scheduled for the same instant (FIFO order).
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.timer import PeriodicTimer, Timer
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "PeriodicTimer",
+    "Process",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,189 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a virtual clock and a binary heap of pending
+events.  Components schedule callbacks at absolute or relative virtual
+times; the kernel executes them in (time, insertion-order) order, which
+makes every run fully deterministic.
+
+The kernel is intentionally free of any networking knowledge: links, NICs
+and protocol stacks are ordinary objects that hold a reference to the
+simulator and schedule their own callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.sim.trace import Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A cancellable handle for a scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule`; user code only
+    ever calls :meth:`cancel` or inspects :attr:`time`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent.
+
+        The event stays in the heap (lazy deletion) but is skipped when it
+        surfaces.
+        """
+        self.cancelled = True
+        # Drop references eagerly so cancelled events do not pin packet
+        # buffers or closures in memory until they surface in the heap.
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled to run."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.9f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    """Placeholder callback for cancelled events."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock (seconds).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.0, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_executed = 0
+        #: Structured trace sink shared by every component built on this
+        #: kernel.  Off by default; flip ``tracer.enabled`` to record.
+        self.tracer = Tracer(enabled=False)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = Event(float(time), next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.schedule_at(self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_executed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fired earlier, so measurement windows close
+        at well-defined instants.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self.events_executed += 1
+                event.callback(*event.args)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    return
+            if until is not None and until > self._now:
+                self._now = float(until)
+        finally:
+            self._running = False
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events in the heap."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

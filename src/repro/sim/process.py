@@ -1,0 +1,115 @@
+"""Generator-based cooperative processes.
+
+Sequential application logic (an HTTP client loop, a benchmark schedule)
+reads more naturally as a coroutine than as a web of callbacks.  A
+:class:`Process` wraps a generator that yields the number of virtual
+seconds to sleep before being resumed:
+
+    def client(sim):
+        yield 0.5          # sleep 500 ms
+        do_something()
+        yield 1.0          # sleep 1 s
+
+Processes may also block on :class:`Waiter` objects, which other components
+complete via :meth:`Waiter.wake`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Union
+
+from repro.sim.engine import Event, Simulator
+
+
+class Waiter:
+    """A one-shot synchronisation point between a process and a callback.
+
+    A process yields a ``Waiter``; it is resumed (with :attr:`value`) when
+    some other component calls :meth:`wake`.
+    """
+
+    def __init__(self) -> None:
+        self.value: Any = None
+        self.completed = False
+        self._process: Optional["Process"] = None
+
+    def wake(self, value: Any = None) -> None:
+        """Complete the wait and resume the blocked process, if any."""
+        if self.completed:
+            return
+        self.completed = True
+        self.value = value
+        if self._process is not None:
+            process = self._process
+            self._process = None
+            process._resume(value)
+
+
+Yieldable = Union[float, int, Waiter]
+
+
+class Process:
+    """Runs a generator as a cooperative simulation process.
+
+    The generator yields either a numeric delay (seconds) or a
+    :class:`Waiter`.  The process finishes when the generator returns or
+    when :meth:`stop` is called.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[Yieldable, Any, None], name: str = "process"):
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self._event: Optional[Event] = None
+
+    @classmethod
+    def spawn(
+        cls,
+        sim: Simulator,
+        generator: Generator[Yieldable, Any, None],
+        name: str = "process",
+        delay: float = 0.0,
+    ) -> "Process":
+        """Create a process and schedule its first step after ``delay``."""
+        process = cls(sim, generator, name=name)
+        process._event = sim.schedule(delay, process._resume, None)
+        return process
+
+    def stop(self) -> None:
+        """Terminate the process without resuming the generator again."""
+        if self.finished:
+            return
+        self.finished = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._generator.close()
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        self._event = None
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration:
+            self.finished = True
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Yieldable) -> None:
+        if isinstance(yielded, Waiter):
+            if yielded.completed:
+                # Already completed; resume immediately with its value.
+                self._event = self._sim.call_soon(self._resume, yielded.value)
+            else:
+                yielded._process = self
+            return
+        delay = float(yielded)
+        if delay < 0:
+            raise ValueError(f"process {self.name} yielded negative delay {delay}")
+        self._event = self._sim.schedule(delay, self._resume, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,104 @@
+"""One-shot and periodic timers built on the simulation kernel.
+
+Protocol code (TCP retransmission, delayed ACK, flood pacing, measurement
+windows) uses these instead of raw ``Simulator.schedule`` calls so that
+restart/cancel semantics live in one tested place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    The callback fires once, ``interval`` seconds after the most recent
+    :meth:`start` (or :meth:`restart`).  Starting a running timer is an
+    error; use :meth:`restart` to reset the deadline.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., Any], *args: Any):
+        self._sim = sim
+        self._callback = callback
+        self._args = args
+        self._event: Optional[Event] = None
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is armed and has not fired."""
+        return self._event is not None and self._event.pending
+
+    def start(self, interval: float) -> None:
+        """Arm the timer to fire after ``interval`` seconds."""
+        if self.running:
+            raise RuntimeError("timer already running; use restart()")
+        self._event = self._sim.schedule(interval, self._fire)
+
+    def restart(self, interval: float) -> None:
+        """Cancel any pending deadline and arm for ``interval`` seconds."""
+        self.stop()
+        self.start(interval)
+
+    def stop(self) -> None:
+        """Disarm the timer.  Idempotent."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback(*self._args)
+
+
+class PeriodicTimer:
+    """A fixed-interval repeating timer.
+
+    Fires every ``interval`` seconds after :meth:`start` until :meth:`stop`.
+    The interval may be changed between firings via :attr:`interval`; the
+    new value takes effect at the next (re)scheduling.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self.interval = float(interval)
+        self._callback = callback
+        self._args = args
+        self._event: Optional[Event] = None
+        self.fired = 0
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is active."""
+        return self._event is not None and self._event.pending
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin firing.  First firing after ``initial_delay`` (default:
+        one full interval)."""
+        if self.running:
+            raise RuntimeError("periodic timer already running")
+        delay = self.interval if initial_delay is None else initial_delay
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop firing.  Idempotent."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self.fired += 1
+        # Re-arm before invoking the callback so the callback may call
+        # stop() to terminate the series.
+        self._event = self._sim.schedule(self.interval, self._fire)
+        self._callback(*self._args)

@@ -1,0 +1,82 @@
+"""Structured trace facility.
+
+Components emit ``(time, source, event, fields)`` records.  Tests assert on
+traces instead of scraping stdout; experiment runners can dump traces for
+debugging.  Tracing is off by default and costs one predicate check per
+emit when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace record."""
+
+    time: float
+    source: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{key}={value}" for key, value in sorted(self.fields.items()))
+        return f"[{self.time:.6f}] {self.source} {self.event} {extras}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` instances, with optional filtering.
+
+    Parameters
+    ----------
+    enabled:
+        When False (default), :meth:`emit` is a no-op.
+    max_records:
+        Ring-buffer bound; oldest records are dropped beyond this.
+    """
+
+    def __init__(self, enabled: bool = False, max_records: int = 100_000):
+        self.enabled = enabled
+        self.max_records = max_records
+        self._records: List[TraceRecord] = []
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, source: str, event: str, **fields: Any) -> None:
+        """Record an event if tracing is enabled."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time=time, source=source, event=event, fields=fields)
+        self._records.append(record)
+        if len(self._records) > self.max_records:
+            del self._records[: len(self._records) - self.max_records]
+        for sink in self._sinks:
+            sink(record)
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Forward every future record to ``sink`` (e.g. ``print``)."""
+        self._sinks.append(sink)
+
+    def records(
+        self,
+        source: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Return collected records, optionally filtered by source/event."""
+        result = self._records
+        if source is not None:
+            result = [record for record in result if record.source == source]
+        if event is not None:
+            result = [record for record in result if record.event == event]
+        return list(result)
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)

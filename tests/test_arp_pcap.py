@@ -1,0 +1,218 @@
+"""Tests for dynamic ARP and pcap export."""
+
+import io
+
+import pytest
+
+from repro.net.addresses import BROADCAST_MAC, Ipv4Address, MacAddress
+from repro.net.capture import CaptureTap
+from repro.net.packet import (
+    ETHERTYPE_ARP,
+    ArpMessage,
+    ArpOp,
+    EthernetFrame,
+    Ipv4Packet,
+    UdpDatagram,
+)
+from repro.net.pcap import frame_to_wire_bytes, read_pcap_headers, write_pcap
+
+
+class TestArpMessage:
+    def test_roundtrip(self):
+        message = ArpMessage(
+            op=ArpOp.REQUEST,
+            sender_mac=MacAddress.from_index(1),
+            sender_ip=Ipv4Address("10.0.0.1"),
+            target_mac=MacAddress(0),
+            target_ip=Ipv4Address("10.0.0.2"),
+        )
+        parsed = ArpMessage.from_bytes(message.to_bytes())
+        assert parsed == message
+        assert parsed.size == 28
+
+    def test_describe(self):
+        message = ArpMessage(
+            op=ArpOp.REQUEST,
+            sender_mac=MacAddress.from_index(1),
+            sender_ip=Ipv4Address("10.0.0.1"),
+            target_mac=MacAddress(0),
+            target_ip=Ipv4Address("10.0.0.2"),
+        )
+        assert "who-has 10.0.0.2" in message.describe()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            ArpMessage.from_bytes(b"\x00" * 10)
+
+
+class TestDynamicArp:
+    def _clear_static(self, net):
+        for host in net.hosts.values():
+            host.ip_layer.arp_table.clear()
+
+    def test_resolution_round_trip_delivers_packet(self, mininet):
+        alice, bob = mininet["alice"], mininet["bob"]
+        self._clear_static(mininet)
+        alice.enable_arp()
+        bob.enable_arp()
+        got = []
+        bob.udp.bind(7000, lambda *args: got.append(args))
+        sender = alice.udp.bind(0)
+        sender.send(bob.ip, 7000, size=4)
+        mininet.run(0.1)
+        assert len(got) == 1
+        assert alice.arp.requests_sent == 1
+        assert bob.arp.replies_sent == 1
+        assert alice.arp.lookup(bob.ip) == bob.mac
+
+    def test_responder_learns_requester_address(self, mininet):
+        alice, bob = mininet["alice"], mininet["bob"]
+        self._clear_static(mininet)
+        alice.enable_arp()
+        bob.enable_arp()
+        bob.udp.bind(7000, lambda *args: None)
+        alice.udp.bind(0).send(bob.ip, 7000, size=4)
+        mininet.run(0.1)
+        # Gratuitous learning: bob can answer without its own request.
+        assert bob.arp.lookup(alice.ip) == alice.mac
+        assert bob.arp.requests_sent == 0
+
+    def test_unresolvable_address_fails_after_retries(self, mininet):
+        alice = mininet["alice"]
+        self._clear_static(mininet)
+        alice.enable_arp(retry_interval=0.1, max_retries=3)
+        alice.udp.bind(0).send(Ipv4Address("192.168.1.99"), 7000, size=4)
+        mininet.run(1.0)
+        assert alice.arp.failures == 1
+        assert alice.arp.packets_dropped_unresolved == 1
+        assert alice.arp.requests_sent == 3
+
+    def test_pending_queue_is_bounded(self, mininet):
+        alice = mininet["alice"]
+        self._clear_static(mininet)
+        alice.enable_arp(queue_limit=4, retry_interval=5.0)
+        sender = alice.udp.bind(0)
+        for _ in range(10):
+            sender.send(Ipv4Address("192.168.1.99"), 7000, size=4)
+        assert alice.arp.packets_dropped_unresolved == 6
+
+    def test_cache_expires(self, mininet):
+        alice, bob = mininet["alice"], mininet["bob"]
+        self._clear_static(mininet)
+        alice.enable_arp(cache_timeout=0.5)
+        bob.enable_arp()
+        bob.udp.bind(7000, lambda *args: None)
+        alice.udp.bind(0).send(bob.ip, 7000, size=4)
+        mininet.run(0.1)
+        assert alice.arp.lookup(bob.ip) is not None
+        mininet.run(1.0)
+        assert alice.arp.lookup(bob.ip) is None
+
+    def test_static_entries_take_precedence(self, mininet):
+        alice, bob = mininet["alice"], mininet["bob"]
+        alice.enable_arp()
+        got = []
+        bob.udp.bind(7000, lambda *args: got.append(args))
+        alice.udp.bind(0).send(bob.ip, 7000, size=4)
+        mininet.run(0.1)
+        assert len(got) == 1
+        assert alice.arp.requests_sent == 0  # static table answered
+
+    def test_arp_bypasses_firewall_nic(self, sim):
+        # A deny-all EFW must still answer ARP, or nothing works at all.
+        from tests.test_nic_models import build_pair
+        from repro.nic.efw import EfwNic
+        from repro.firewall.builders import deny_all
+
+        alice, bob = build_pair(sim, lambda: EfwNic(sim, lockup_enabled=False))
+        alice.ip_layer.arp_table.clear()
+        bob.ip_layer.arp_table.clear()
+        alice.enable_arp()
+        bob.enable_arp()
+        bob.nic.install_policy(deny_all())
+        alice.udp.bind(0).send(bob.ip, 7000, size=4)
+        sim.run(until=0.5)
+        assert alice.arp.lookup(bob.ip) == bob.mac  # resolution worked
+        assert bob.nic.rx_denied == 1  # the UDP packet itself was filtered
+
+
+class TestPcap:
+    def _capture_some_traffic(self, mininet):
+        alice, bob = mininet["alice"], mininet["bob"]
+        tap = CaptureTap()
+        mininet.topology.link_for("bob").add_tap(tap)
+        bob.udp.bind(7000, lambda *args: None)
+        sender = alice.udp.bind(0)
+        for index in range(3):
+            sender.send(bob.ip, 7000, size=20 + index, data=b"payload")
+        mininet.run(0.1)
+        return tap
+
+    def test_roundtrip_through_pcap_format(self, mininet):
+        tap = self._capture_some_traffic(mininet)
+        buffer = io.BytesIO()
+        count = write_pcap(buffer, tap.frames)
+        assert count == len(tap.frames)
+        buffer.seek(0)
+        records = read_pcap_headers(buffer)
+        assert len(records) == count
+        # Timestamps preserved to microsecond precision and ordered.
+        times = [t for t, _data in records]
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(tap.frames[0].time, abs=1e-5)
+
+    def test_wire_bytes_parse_back_as_ip(self, mininet):
+        tap = self._capture_some_traffic(mininet)
+        wire = frame_to_wire_bytes(tap.frames[0].frame)
+        # Ethernet header: dst, src, ethertype 0x0800, then IPv4.
+        assert wire[12:14] == b"\x08\x00"
+        parsed = Ipv4Packet.from_bytes(wire[14:])
+        assert parsed.udp is not None
+        assert parsed.udp.dst_port == 7000
+
+    def test_minimum_frame_padding(self):
+        frame = EthernetFrame(
+            src_mac=MacAddress.from_index(1),
+            dst_mac=MacAddress.from_index(2),
+            payload=Ipv4Packet(
+                src=Ipv4Address("10.0.0.1"),
+                dst=Ipv4Address("10.0.0.2"),
+                payload=UdpDatagram(1, 2),
+            ),
+        )
+        assert len(frame_to_wire_bytes(frame)) == 60  # 64 minus 4-byte FCS
+
+    def test_dump_tap_to_file(self, mininet, tmp_path):
+        from repro.net.pcap import dump_tap
+
+        tap = self._capture_some_traffic(mininet)
+        path = tmp_path / "capture.pcap"
+        count = dump_tap(tap, str(path))
+        assert count == len(tap.frames)
+        with open(path, "rb") as stream:
+            assert len(read_pcap_headers(stream)) == count
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            read_pcap_headers(io.BytesIO(b"\x00" * 24))
+
+    def test_arp_frames_exportable(self, mininet):
+        alice, bob = mininet["alice"], mininet["bob"]
+        for host in mininet.hosts.values():
+            host.ip_layer.arp_table.clear()
+        alice.enable_arp()
+        bob.enable_arp()
+        tap = CaptureTap()
+        mininet.topology.link_for("bob").add_tap(tap)
+        bob.udp.bind(7000, lambda *args: None)
+        alice.udp.bind(0).send(bob.ip, 7000, size=4)
+        mininet.run(0.1)
+        arp_frames = [
+            captured
+            for captured in tap.frames
+            if captured.frame.ethertype == ETHERTYPE_ARP
+        ]
+        assert arp_frames
+        wire = frame_to_wire_bytes(arp_frames[0].frame)
+        parsed = ArpMessage.from_bytes(wire[14:])
+        assert parsed.target_ip == bob.ip

@@ -1,0 +1,100 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments import __main__ as cli
+from repro.experiments import runner
+
+
+class TestCli:
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            runner.run_experiment("nonsense")
+
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--help"])
+        assert excinfo.value.code == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_single_experiment_via_stubbed_registry(self, monkeypatch, capsys):
+        spec = runner.ExperimentSpec(
+            "stub", "a stub", lambda progress: "FULL-OUTPUT", lambda progress: "QUICK-OUTPUT"
+        )
+        monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
+        monkeypatch.setattr(cli, "run_experiment", runner.run_experiment)
+        monkeypatch.setattr(cli, "experiment_ids", runner.experiment_ids)
+        assert cli.main(["stub", "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "FULL-OUTPUT" in out
+
+    def test_quick_flag_selects_quick_runner(self, monkeypatch, capsys):
+        spec = runner.ExperimentSpec(
+            "stub", "a stub", lambda progress: "FULL-OUTPUT", lambda progress: "QUICK-OUTPUT"
+        )
+        monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
+        monkeypatch.setattr(cli, "run_experiment", runner.run_experiment)
+        monkeypatch.setattr(cli, "experiment_ids", runner.experiment_ids)
+        assert cli.main(["stub", "--quick", "--no-progress"]) == 0
+        assert "QUICK-OUTPUT" in capsys.readouterr().out
+
+    def test_all_expands_to_every_experiment(self, monkeypatch, capsys):
+        calls = []
+
+        def fake_run(experiment_id, quick=False, progress=None):
+            calls.append(experiment_id)
+            return f"ran {experiment_id}"
+
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        assert cli.main(["all", "--no-progress"]) == 0
+        assert calls == runner.experiment_ids()
+
+    def test_progress_goes_to_stderr(self, monkeypatch, capsys):
+        def fake_run(experiment_id, quick=False, progress=None):
+            if progress is not None:
+                progress("step one")
+            return "output"
+
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        monkeypatch.setattr(cli, "experiment_ids", lambda: ["stub"])
+        cli.main(["stub"])
+        captured = capsys.readouterr()
+        assert "step one" in captured.err
+        assert "step one" not in captured.out
+
+    def test_registry_titles_are_unique_and_nonempty(self):
+        titles = [spec.title for spec in runner.REGISTRY.values()]
+        assert all(titles)
+        assert len(set(titles)) == len(titles)
+
+    def test_json_flag_archives_results(self, monkeypatch, capsys, tmp_path):
+        import dataclasses
+        import json
+
+        @dataclasses.dataclass
+        class StubResult:
+            value: int = 7
+
+            def table(self):
+                return "STUB-TABLE"
+
+        spec = runner.ExperimentSpec(
+            "stub", "a stub", lambda progress: StubResult(), lambda progress: StubResult()
+        )
+        monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
+        monkeypatch.setattr(cli, "run_experiment_result", runner.run_experiment_result)
+        monkeypatch.setattr(cli, "experiment_ids", runner.experiment_ids)
+        out_dir = tmp_path / "results"
+        assert cli.main(["stub", "--no-progress", "--json", str(out_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "STUB-TABLE" in captured.out
+        payload = json.loads((out_dir / "stub.json").read_text())
+        assert payload == {"_type": "StubResult", "value": 7}
+
+    def test_render_result_handles_lists_and_strings(self):
+        class WithTable:
+            def table(self):
+                return "T"
+
+        assert runner.render_result("plain") == "plain"
+        assert runner.render_result([WithTable(), WithTable()]) == "T\n\nT"

@@ -1,0 +1,94 @@
+"""Property-based tests for connection-tracking invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.firewall.conntrack import ConnState, ConnectionTracker, flow_key
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import (
+    IcmpMessage,
+    IcmpType,
+    IpProtocol,
+    Ipv4Packet,
+    TcpSegment,
+    UdpDatagram,
+)
+from repro.sim.engine import Simulator
+
+addresses = st.integers(0, (1 << 32) - 1).map(Ipv4Address)
+ports = st.integers(0, 65535)
+
+
+@st.composite
+def tcp_packets(draw):
+    return Ipv4Packet(
+        src=draw(addresses),
+        dst=draw(addresses),
+        payload=TcpSegment(src_port=draw(ports), dst_port=draw(ports)),
+    )
+
+
+@st.composite
+def udp_packets(draw):
+    return Ipv4Packet(
+        src=draw(addresses),
+        dst=draw(addresses),
+        payload=UdpDatagram(src_port=draw(ports), dst_port=draw(ports)),
+    )
+
+
+def mirrored(packet):
+    payload = packet.payload
+    if isinstance(payload, TcpSegment):
+        reverse = TcpSegment(src_port=payload.dst_port, dst_port=payload.src_port)
+    elif isinstance(payload, UdpDatagram):
+        reverse = UdpDatagram(src_port=payload.dst_port, dst_port=payload.src_port)
+    else:
+        reverse = IcmpMessage(
+            icmp_type=IcmpType.ECHO_REPLY, identifier=payload.identifier
+        )
+    return Ipv4Packet(src=packet.dst, dst=packet.src, payload=reverse)
+
+
+class TestFlowKeyProperties:
+    @given(packet=st.one_of(tcp_packets(), udp_packets()))
+    def test_key_is_direction_invariant(self, packet):
+        assert flow_key(packet) == flow_key(mirrored(packet))
+
+    @given(packet=st.one_of(tcp_packets(), udp_packets()))
+    def test_key_is_stable(self, packet):
+        assert flow_key(packet) == flow_key(packet)
+
+    @given(a=tcp_packets(), b=tcp_packets())
+    def test_distinct_unordered_tuples_get_distinct_keys(self, a, b):
+        def unordered(packet):
+            proto, src, sport, dst, dport = packet.flow()
+            return frozenset(((int(src), sport), (int(dst), dport)))
+
+        if unordered(a) != unordered(b):
+            assert flow_key(a) != flow_key(b)
+
+
+class TestTrackerProperties:
+    @given(packets=st.lists(st.one_of(tcp_packets(), udp_packets()), max_size=30))
+    def test_entry_count_never_exceeds_bound(self, packets):
+        sim = Simulator()
+        tracker = ConnectionTracker(sim, max_entries=5)
+        for packet in packets:
+            tracker.note(packet, initiating=True)
+        assert len(tracker) <= 5
+
+    @given(packet=st.one_of(tcp_packets(), udp_packets()))
+    def test_committed_flow_is_established_both_ways(self, packet):
+        sim = Simulator()
+        tracker = ConnectionTracker(sim)
+        tracker.note(packet, initiating=True)
+        assert tracker.classify(packet) == ConnState.ESTABLISHED
+        assert tracker.classify(mirrored(packet)) == ConnState.ESTABLISHED
+
+    @given(packet=st.one_of(tcp_packets(), udp_packets()))
+    def test_classify_never_creates_state(self, packet):
+        sim = Simulator()
+        tracker = ConnectionTracker(sim)
+        tracker.classify(packet)
+        tracker.classify(mirrored(packet))
+        assert len(tracker) == 0

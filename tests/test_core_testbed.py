@@ -1,0 +1,116 @@
+"""Tests for the Figure 1 testbed builder."""
+
+import pytest
+
+from repro.core.testbed import STATIONS, DeviceKind, Testbed
+from repro.firewall.builders import allow_all, deny_all
+from repro.nic.adf import AdfNic
+from repro.nic.efw import EfwNic
+from repro.nic.standard import StandardNic
+
+
+class TestConstruction:
+    def test_four_stations_exist(self):
+        bed = Testbed()
+        assert set(bed.hosts) == set(STATIONS)
+        assert bed.client.name == "client"
+        assert bed.target.name == "target"
+        assert bed.attacker.name == "attacker"
+
+    def test_all_hosts_have_arp_entries(self):
+        bed = Testbed()
+        for a in bed.hosts.values():
+            for b in bed.hosts.values():
+                if a is not b:
+                    assert a.ip_layer.resolve(b.ip) == b.mac
+
+    @pytest.mark.parametrize(
+        "device,nic_type",
+        [
+            (DeviceKind.STANDARD, StandardNic),
+            (DeviceKind.EFW, EfwNic),
+            (DeviceKind.ADF, AdfNic),
+            (DeviceKind.IPTABLES, StandardNic),
+        ],
+    )
+    def test_target_nic_matches_device(self, device, nic_type):
+        bed = Testbed(device=device)
+        assert isinstance(bed.target.nic, nic_type)
+
+    def test_client_device_option(self):
+        bed = Testbed(device=DeviceKind.ADF, client_device=DeviceKind.ADF)
+        assert isinstance(bed.client.nic, AdfNic)
+        assert "client" in bed.agents
+
+    def test_is_embedded_classification(self):
+        assert DeviceKind.EFW.is_embedded
+        assert DeviceKind.ADF.is_embedded
+        assert not DeviceKind.STANDARD.is_embedded
+        assert not DeviceKind.IPTABLES.is_embedded
+
+    def test_ring_size_option_applies(self):
+        bed = Testbed(device=DeviceKind.EFW, ring_size=16)
+        assert bed.target.nic.processor.capacity == 16
+
+    def test_lockup_ablation_option(self):
+        bed = Testbed(device=DeviceKind.EFW, efw_lockup_enabled=False)
+        assert not bed.target.nic.fault.enabled
+
+
+class TestPolicyInstallation:
+    def test_embedded_install_goes_through_policy_server(self):
+        bed = Testbed(device=DeviceKind.EFW)
+        bed.install_target_policy(allow_all())
+        assert bed.target.nic.policy is not None
+        assert bed.policy_server.pushes_acked == 1
+
+    def test_networked_push_delivers_over_the_wire(self):
+        bed = Testbed(device=DeviceKind.EFW)
+        bed.install_target_policy(allow_all(), networked_push=True)
+        assert bed.target.nic.policy is not None
+        # The push consumed real simulated time and traffic.
+        assert bed.sim.now > 0
+        assert bed.policy_server.pushes_acked == 1
+
+    def test_iptables_install(self):
+        bed = Testbed(device=DeviceKind.IPTABLES)
+        bed.install_target_policy(deny_all())
+        assert bed.target.iptables is not None
+
+    def test_standard_install_is_noop(self):
+        bed = Testbed(device=DeviceKind.STANDARD)
+        bed.install_target_policy(deny_all())
+        assert bed.target.iptables is None
+
+    def test_client_policy_requires_embedded_client(self):
+        bed = Testbed(device=DeviceKind.ADF)
+        with pytest.raises(RuntimeError):
+            bed.install_client_policy(allow_all())
+
+    def test_restart_agent_requires_embedded_target(self):
+        bed = Testbed(device=DeviceKind.STANDARD)
+        with pytest.raises(RuntimeError):
+            bed.restart_target_agent()
+
+    def test_restart_agent_works(self):
+        bed = Testbed(device=DeviceKind.EFW)
+        bed.restart_target_agent()
+        assert bed.target.nic.agent_restarts == 1
+
+    def test_run_advances_clock(self):
+        bed = Testbed()
+        bed.run(0.5)
+        assert bed.sim.now == pytest.approx(0.5)
+
+    def test_seed_determinism(self):
+        def measure(seed):
+            from repro.apps.iperf import IperfClient, IperfServer
+
+            bed = Testbed(device=DeviceKind.EFW, seed=seed)
+            bed.install_target_policy(allow_all())
+            IperfServer(bed.target)
+            session = IperfClient(bed.client).start_tcp(bed.target.ip, duration=0.2)
+            bed.run(0.25)
+            return session.result().bytes_transferred
+
+        assert measure(7) == measure(7)

@@ -1,0 +1,204 @@
+"""Edge-case coverage across modules: error paths, counters, wrap-arounds."""
+
+import pytest
+
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.packet import IpProtocol, Ipv4Packet, RawPayload, UdpDatagram
+
+
+class TestNicEdges:
+    def test_send_arp_frame_requires_attachment(self, sim):
+        from repro.net.packet import ArpMessage, ArpOp, EthernetFrame, ETHERTYPE_ARP
+        from repro.nic.standard import StandardNic
+
+        nic = StandardNic(sim)
+        message = ArpMessage(
+            op=ArpOp.REQUEST,
+            sender_mac=MacAddress.from_index(1),
+            sender_ip=Ipv4Address("10.0.0.1"),
+            target_mac=MacAddress(0),
+            target_ip=Ipv4Address("10.0.0.2"),
+        )
+        frame = EthernetFrame(
+            src_mac=MacAddress.from_index(1),
+            dst_mac=MacAddress.from_index(2),
+            payload=message,
+            ethertype=ETHERTYPE_ARP,
+        )
+        with pytest.raises(RuntimeError):
+            nic.send_arp_frame(frame)
+
+    def test_double_attach_rejected(self, sim, mininet):
+        from repro.nic.standard import StandardNic
+
+        nic = mininet["alice"].nic
+        port = mininet.topology.add_station("spare")
+        with pytest.raises(RuntimeError):
+            nic.attach(port)
+
+    def test_double_bind_host_rejected(self, sim, mininet):
+        from repro.host.host import Host
+        from repro.sim.rng import RngRegistry
+
+        other = Host(
+            mininet.sim,
+            "other",
+            Ipv4Address("192.168.1.99"),
+            MacAddress.from_index(99),
+            RngRegistry(1),
+        )
+        with pytest.raises(RuntimeError):
+            mininet["alice"].nic.bind_host(other)
+
+
+class TestIpDispatchEdges:
+    def test_unhandled_vpg_packet_counted(self, mininet):
+        # A VPG packet reaching a host's stack (no ADF decapsulated it)
+        # is dropped and counted, not crashed on.
+        alice, bob = mininet["alice"], mininet["bob"]
+        packet = Ipv4Packet(
+            src=alice.ip,
+            dst=bob.ip,
+            payload=RawPayload(size=64),
+            protocol=IpProtocol.VPG,
+        )
+        alice.ip_layer.send_packet(packet)
+        mininet.run(0.1)
+        assert bob.ip_layer.packets_dropped_no_proto == 1
+
+    def test_broadcast_destination_accepted(self, mininet):
+        alice, bob = mininet["alice"], mininet["bob"]
+        got = []
+        bob.udp.bind(7000, lambda *args: got.append(args))
+        packet = Ipv4Packet(
+            src=alice.ip,
+            dst=Ipv4Address("192.168.1.255"),
+            payload=UdpDatagram(1, 7000, payload_size=4),
+        )
+        alice.ip_layer.send_packet(packet)
+        mininet.run(0.1)
+        assert len(got) == 1
+
+
+class TestTcpManagerEdges:
+    def test_listener_close_is_idempotent(self, mininet):
+        bob = mininet["bob"]
+        listener = bob.tcp.listen(5001, lambda conn: None)
+        listener.close()
+        listener.close()
+        bob.tcp.listen(5001, lambda conn: None)  # port is free again
+
+    def test_isn_is_within_31_bits(self, mininet):
+        for _ in range(100):
+            isn = mininet["alice"].tcp.next_isn()
+            assert 0 <= isn < 2**31
+
+    def test_connection_count_tracks_lifecycle(self, mininet):
+        alice, bob = mininet["alice"], mininet["bob"]
+        bob.tcp.listen(5001, lambda conn: None)
+        conn = alice.tcp.connect(bob.ip, 5001)
+        mininet.run(0.1)
+        assert alice.tcp.connection_count == 1
+        conn.abort()
+        assert alice.tcp.connection_count == 0
+
+
+class TestIcmpEdges:
+    def test_identifier_wraps_without_collision_error(self, mininet):
+        alice, bob = mininet["alice"], mininet["bob"]
+        alice.icmp._next_identifier = 0xFFFF
+        first = alice.icmp.ping(bob.ip)
+        second = alice.icmp.ping(bob.ip)
+        assert first == 0xFFFF
+        assert second == 1  # wrapped
+
+    def test_quoted_error_payload_is_bounded(self, mininet):
+        alice, bob = mininet["alice"], mininet["bob"]
+        seen = []
+        original = alice.deliver_packet
+        alice.deliver_packet = lambda packet: (seen.append(packet), original(packet))
+        sender = alice.udp.bind(0)
+        sender.send(bob.ip, 9999, size=1400)  # big offending datagram
+        mininet.run(0.1)
+        errors = [p for p in seen if p.icmp is not None]
+        assert errors
+        # RFC 1122: header + 8 bytes quoted, not the whole datagram.
+        assert errors[0].icmp.payload_size <= 28
+
+
+class TestFloodEdges:
+    def test_stop_is_idempotent(self, trinet):
+        from repro.apps.flood import FloodGenerator
+
+        flood = FloodGenerator(trinet["mallory"])
+        flood.start(trinet["bob"].ip, rate_pps=100)
+        flood.stop()
+        flood.stop()
+        assert not flood.running
+
+    def test_restart_after_stop(self, trinet):
+        from repro.apps.flood import FloodGenerator
+
+        flood = FloodGenerator(trinet["mallory"])
+        flood.start(trinet["bob"].ip, rate_pps=100, duration=0.05)
+        trinet.run(0.1)
+        flood.start(trinet["bob"].ip, rate_pps=100, duration=0.05)
+        trinet.run(0.1)
+        assert flood.packets_sent >= 8
+
+
+class TestRulesetEdges:
+    def test_empty_ruleset_uses_default_and_counts_one(self):
+        from repro.firewall.rules import Action, Direction
+        from repro.firewall.ruleset import RuleSet
+        from repro.net.packet import TcpSegment
+
+        ruleset = RuleSet([], default_action=Action.ALLOW)
+        packet = Ipv4Packet(
+            src=Ipv4Address("1.1.1.1"),
+            dst=Ipv4Address("2.2.2.2"),
+            payload=TcpSegment(src_port=1, dst_port=2),
+        )
+        result = ruleset.evaluate(packet, Direction.INBOUND)
+        assert result.allowed
+        assert result.rules_traversed == 1  # charged at least one entry
+
+    def test_flow_cache_bounded(self):
+        from repro.firewall.builders import allow_all
+        from repro.firewall.rules import Direction
+        from repro.net.packet import TcpSegment
+
+        ruleset = allow_all()
+        ruleset.FLOW_CACHE_LIMIT = 0  # simulate a full cache
+        packet = Ipv4Packet(
+            src=Ipv4Address("1.1.1.1"),
+            dst=Ipv4Address("2.2.2.2"),
+            payload=TcpSegment(src_port=1, dst_port=2),
+        )
+        first = ruleset.evaluate(packet, Direction.INBOUND)
+        second = ruleset.evaluate(packet, Direction.INBOUND)
+        assert first is not second  # nothing cached
+        assert first == second  # but equal verdicts
+
+
+class TestPcapEdges:
+    def test_truncated_record_rejected(self):
+        import io
+        import struct
+
+        from repro.net.pcap import PCAP_MAGIC, read_pcap_headers
+
+        header = struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 1)
+        broken = io.BytesIO(header + b"\x01\x02\x03")  # partial record header
+        with pytest.raises(ValueError):
+            read_pcap_headers(broken)
+
+    def test_wrong_linktype_rejected(self):
+        import io
+        import struct
+
+        from repro.net.pcap import PCAP_MAGIC, read_pcap_headers
+
+        header = struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 101)
+        with pytest.raises(ValueError):
+            read_pcap_headers(io.BytesIO(header))

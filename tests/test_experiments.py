@@ -1,0 +1,101 @@
+"""Tests for the experiment modules (reduced grids so they stay fast)."""
+
+import pytest
+
+from repro.core.methodology import MeasurementSettings
+from repro.experiments import experiment_ids, run_experiment
+from repro.experiments import ablations, fig2_bandwidth, fig3a_flood, fig3b_minflood, table1_http
+
+TINY = MeasurementSettings(duration=0.3, http_duration=0.6)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        for expected in ("fig2", "fig3a", "fig3b", "table1", "ablations"):
+            assert expected in ids
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestFig2:
+    def test_reduced_run_shapes(self):
+        result = fig2_bandwidth.run(
+            depths=(1, 64), vpg_counts=(1,), settings=TINY
+        )
+        assert set(result.series) == {"EFW", "ADF", "iptables", "ADF (VPG)"}
+        efw = dict(result.series["EFW"])
+        adf = dict(result.series["ADF"])
+        iptables = dict(result.series["iptables"])
+        # The paper's orderings at 64 rules: iptables > EFW > ADF.
+        assert iptables[64] > efw[64] > adf[64]
+        # And everyone is near line rate at one rule.
+        assert efw[1] > 85 and adf[1] > 85
+
+    def test_table_rendering(self):
+        result = fig2_bandwidth.run(depths=(1,), vpg_counts=(1,), settings=TINY)
+        table = result.table()
+        assert "Figure 2" in table
+        assert "EFW" in table and "ADF (VPG)" in table
+
+
+class TestFig3a:
+    def test_reduced_run_shapes(self):
+        result = fig3a_flood.run(
+            flood_rates=(0, 50000), settings=TINY, repetitions=1
+        )
+        efw = dict(result.series["EFW"])
+        none = dict(result.series["No Firewall"])
+        # The flood kills the EFW but not the bare NIC.
+        assert efw[50000] < 2
+        assert none[50000] > 10 * max(efw[50000], 0.1)
+
+    def test_table_rendering(self):
+        result = fig3a_flood.run(flood_rates=(0,), settings=TINY, repetitions=1)
+        assert "Figure 3a" in result.table()
+
+
+class TestFig3b:
+    def test_reduced_run_reports_lockup_for_efw_deny(self):
+        result = fig3b_minflood.run(
+            depths=(64,), settings=TINY, probe_duration=0.3
+        )
+        efw_deny = dict(result.series["EFW (Deny)"])[64]
+        assert efw_deny.lockup
+        efw_allow = dict(result.series["EFW (Allow)"])[64]
+        assert efw_allow.measurable
+        table = result.table()
+        assert "LOCKUP" in table
+
+    def test_deny_exceeds_allow_for_adf(self):
+        result = fig3b_minflood.run(depths=(64,), settings=TINY, probe_duration=0.3)
+        allow = dict(result.series["ADF (Allow)"])[64]
+        deny = dict(result.series["ADF (Deny)"])[64]
+        assert deny.rate_pps > allow.rate_pps
+
+
+class TestTable1:
+    def test_reduced_run_shapes(self):
+        result = table1_http.run(depths=(1, 64), vpg_counts=(1,), settings=TINY)
+        assert result.standard_nic.fetches_per_second > 0
+        by_depth = {m.rule_depth: m for m in result.adf_standard}
+        assert by_depth[64].fetches_per_second < by_depth[1].fetches_per_second
+        assert by_depth[64].fetches_per_second < result.standard_nic.fetches_per_second
+        table = result.table()
+        assert "HTTP Fetches/s" in table and "ms/connect" in table
+
+
+class TestAblations:
+    def test_lazy_decrypt_ablation_shows_the_effect(self):
+        result = ablations.lazy_decrypt(settings=TINY, vpg_counts=(1, 8))
+        lazy_8 = result.outcomes["lazy, 8 VPG(s)"]
+        eager_8 = result.outcomes["eager, 8 VPG(s)"]
+        # Eager decryption pays crypto per traversed VPG: markedly slower.
+        assert eager_8 < lazy_8 * 0.75
+        assert "Ablation" in result.table()
+
+    def test_ring_size_ablation_runs(self):
+        result = ablations.ring_size(settings=TINY, ring_sizes=(16, 256))
+        assert len(result.outcomes) == 2

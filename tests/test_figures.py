@@ -1,0 +1,68 @@
+"""Tests for the ASCII figure renderings."""
+
+from repro.core.methodology import MinimumFloodResult
+from repro.core.reports import ascii_plot
+from repro.experiments.figures import PLOTTERS, plot_result
+from repro.experiments.fig2_bandwidth import Fig2Result
+from repro.experiments.fig3a_flood import Fig3aResult
+from repro.experiments.fig3b_minflood import Fig3bResult
+
+
+class TestAsciiMarks:
+    def test_series_sharing_initial_get_distinct_marks(self):
+        plot = ascii_plot(
+            [
+                ("ADF", [(0, 1), (10, 2)]),
+                ("ADF (VPG)", [(0, 3), (10, 4)]),
+            ],
+            width=20,
+            height=5,
+        )
+        legend_line = [line for line in plot.splitlines() if "legend" in line][0]
+        assert "A=ADF" in legend_line
+        # The second series must NOT reuse 'A'.
+        assert legend_line.count("A=") == 1
+
+
+class TestFigurePlotters:
+    def test_fig2_plot_contains_axes_and_legend(self):
+        result = Fig2Result(series={"EFW": [(1, 94.8), (64, 47.8)], "ADF": [(1, 94.8), (64, 31.6)]})
+        plot = plot_result("fig2", result)
+        assert "bandwidth (Mbps)" in plot
+        assert "rules traversed" in plot
+        assert "E=EFW" in plot
+
+    def test_fig3a_plot(self):
+        result = Fig3aResult(series={"EFW": [(0, 94.8), (50000, 0.0)]})
+        plot = plot_result("fig3a", result)
+        assert "flood (pps)" in plot
+
+    def test_fig3b_plot_skips_lockup_series(self):
+        result = Fig3bResult(
+            series={
+                "EFW (Allow)": [
+                    (1, MinimumFloodResult(1, True, rate_pps=46000.0)),
+                    (64, MinimumFloodResult(64, True, rate_pps=5250.0)),
+                ],
+                "EFW (Deny)": [
+                    (1, MinimumFloodResult(1, False, lockup=True, lockup_rate_pps=1000.0)),
+                ],
+            }
+        )
+        plot = plot_result("fig3b", result)
+        assert "EFW (Allow)" in plot
+        assert "EFW (Deny)" not in plot  # unmeasurable: nothing to plot
+
+    def test_fig3b_plot_with_no_measurable_series(self):
+        result = Fig3bResult(
+            series={
+                "EFW (Deny)": [
+                    (1, MinimumFloodResult(1, False, lockup=True, lockup_rate_pps=1000.0)),
+                ]
+            }
+        )
+        assert plot_result("fig3b", result) == "(no measurable series)"
+
+    def test_non_figure_experiments_not_plottable(self):
+        assert plot_result("table1", object()) is None
+        assert set(PLOTTERS) == {"fig2", "fig3a", "fig3b"}

@@ -1,0 +1,154 @@
+"""Tests for rule-set builders and anomaly analysis."""
+
+import pytest
+
+from repro.firewall.anomalies import AnomalyKind, analyze, shadowed_rules
+from repro.firewall.builders import (
+    allow_all,
+    deny_all,
+    oracle_ruleset,
+    padded_ruleset,
+    padding_rule,
+    service_rule,
+    vpg_ruleset,
+)
+from repro.firewall.rules import (
+    Action,
+    AddressPattern,
+    Direction,
+    PortRange,
+    Rule,
+    VpgRule,
+)
+from repro.firewall.ruleset import RuleSet
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpProtocol, Ipv4Packet, TcpSegment
+
+TARGET = Ipv4Address("10.0.0.3")
+
+
+def tcp_packet(dport=5001):
+    return Ipv4Packet(
+        src=Ipv4Address("10.0.0.2"),
+        dst=TARGET,
+        payload=TcpSegment(src_port=40000, dst_port=dport),
+    )
+
+
+class TestBuilders:
+    def test_allow_all_matches_at_depth_one(self):
+        result = allow_all().evaluate(tcp_packet(), Direction.INBOUND)
+        assert result.allowed and result.rules_traversed == 1
+
+    def test_deny_all_denies(self):
+        result = deny_all().evaluate(tcp_packet(), Direction.INBOUND)
+        assert not result.allowed
+
+    def test_padded_ruleset_places_action_at_exact_depth(self):
+        action = service_rule(Action.ALLOW, IpProtocol.TCP, 5001)
+        for depth in (1, 8, 16, 32, 64):
+            ruleset = padded_ruleset(depth, action_rule=action)
+            result = ruleset.evaluate(tcp_packet(), Direction.INBOUND)
+            assert result.allowed
+            assert result.rules_traversed == depth
+            assert ruleset.table_size == depth
+
+    def test_padding_rules_never_match_testbed_traffic(self):
+        for index in range(64):
+            rule = padding_rule(index)
+            assert not rule.matches(tcp_packet(), Direction.INBOUND)
+            assert not rule.matches(tcp_packet(), Direction.OUTBOUND)
+
+    def test_padding_never_shadows_action_rule(self):
+        ruleset = padded_ruleset(64, action_rule=service_rule(Action.ALLOW, IpProtocol.TCP, 5001))
+        shadowed = shadowed_rules(ruleset)
+        assert ruleset.rules[-1] not in shadowed
+
+    def test_padded_depth_must_fit_action_rule(self):
+        vpg = VpgRule(action=Action.ALLOW, vpg_id=1)
+        with pytest.raises(ValueError):
+            padded_ruleset(1, action_rule=vpg)  # pair needs depth >= 2
+        with pytest.raises(ValueError):
+            padded_ruleset(0)
+
+    def test_vpg_ruleset_only_last_vpg_matches(self):
+        matching = VpgRule(
+            action=Action.ALLOW,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(5001),
+            vpg_id=500,
+        )
+        ruleset = vpg_ruleset(4, matching)
+        assert ruleset.table_size == 8  # 4 pairs
+        result = ruleset.evaluate_encrypted(500)
+        assert result.allowed
+        assert result.rules_traversed == 8
+        # The padding VPGs carry distinct ids that never match.
+        for rule in ruleset.rules[:-1]:
+            assert not rule.matches_encrypted(500)
+
+    def test_vpg_ruleset_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            vpg_ruleset(0, VpgRule(action=Action.ALLOW, vpg_id=1))
+
+    def test_oracle_ruleset_needs_at_least_31_rules(self):
+        ruleset = oracle_ruleset(TARGET)
+        assert ruleset.table_size >= 31
+
+    def test_oracle_ruleset_allows_tns_listener(self):
+        ruleset = oracle_ruleset(TARGET)
+        result = ruleset.evaluate(tcp_packet(dport=1521), Direction.INBOUND)
+        assert result.allowed
+
+    def test_oracle_ruleset_denies_random_port(self):
+        ruleset = oracle_ruleset(TARGET)
+        result = ruleset.evaluate(tcp_packet(dport=2222), Direction.INBOUND)
+        assert not result.allowed
+
+
+class TestAnomalies:
+    def test_shadowing_detected(self):
+        wide_deny = Rule(action=Action.DENY, protocol=IpProtocol.TCP)
+        narrow_allow = Rule(
+            action=Action.ALLOW, protocol=IpProtocol.TCP, dst_ports=PortRange.single(80)
+        )
+        findings = analyze(RuleSet([wide_deny, narrow_allow]))
+        kinds = {finding.kind for finding in findings}
+        assert AnomalyKind.SHADOWED in kinds
+        assert shadowed_rules(RuleSet([wide_deny, narrow_allow])) == [narrow_allow]
+
+    def test_redundancy_detected(self):
+        wide_allow = Rule(action=Action.ALLOW, protocol=IpProtocol.TCP)
+        narrow_allow = Rule(
+            action=Action.ALLOW, protocol=IpProtocol.TCP, dst_ports=PortRange.single(80)
+        )
+        findings = analyze(RuleSet([wide_allow, narrow_allow]))
+        assert any(finding.kind == AnomalyKind.REDUNDANT for finding in findings)
+
+    def test_correlation_detected(self):
+        allow_from_net = Rule(
+            action=Action.ALLOW,
+            src=AddressPattern(Ipv4Address("10.0.0.0"), 8),
+            dst_ports=PortRange(0, 100),
+        )
+        deny_to_port = Rule(action=Action.DENY, dst_ports=PortRange(80, 200))
+        findings = analyze(RuleSet([allow_from_net, deny_to_port]))
+        assert any(finding.kind == AnomalyKind.CORRELATED for finding in findings)
+
+    def test_disjoint_rules_report_nothing(self):
+        rule_a = Rule(action=Action.ALLOW, protocol=IpProtocol.TCP, dst_ports=PortRange.single(80))
+        rule_b = Rule(action=Action.DENY, protocol=IpProtocol.TCP, dst_ports=PortRange.single(443))
+        assert analyze(RuleSet([rule_a, rule_b])) == []
+
+    def test_direction_separated_rules_do_not_conflict(self):
+        inbound = Rule(action=Action.DENY, direction=Direction.INBOUND)
+        outbound = Rule(action=Action.ALLOW, direction=Direction.OUTBOUND)
+        findings = analyze(RuleSet([inbound, outbound]))
+        assert all(finding.kind != AnomalyKind.SHADOWED for finding in findings)
+
+    def test_describe_mentions_rule_positions(self):
+        wide = Rule(action=Action.DENY)
+        narrow = Rule(action=Action.ALLOW, protocol=IpProtocol.TCP)
+        findings = analyze(RuleSet([wide, narrow]))
+        assert findings
+        assert "rule 2" in findings[0].describe()

@@ -1,0 +1,133 @@
+"""Property-based tests of the firewall matcher.
+
+Random rule-sets and packets, checking the invariants everything else
+leans on: cache transparency, symmetric-match involution, first-match
+determinism, and traversal-count consistency.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.firewall.rules import Action, AddressPattern, Direction, PortRange, Rule
+from repro.firewall.ruleset import RuleSet
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram
+
+addresses = st.integers(0, (1 << 32) - 1).map(Ipv4Address)
+ports = st.integers(0, 65535)
+actions = st.sampled_from([Action.ALLOW, Action.DENY])
+protocols = st.sampled_from([None, IpProtocol.TCP, IpProtocol.UDP])
+directions = st.sampled_from([Direction.INBOUND, Direction.OUTBOUND])
+
+
+@st.composite
+def port_ranges(draw):
+    low = draw(ports)
+    high = draw(st.integers(low, 65535))
+    return PortRange(low, high)
+
+
+@st.composite
+def patterns(draw):
+    return AddressPattern(draw(addresses), draw(st.integers(0, 32)))
+
+
+@st.composite
+def rules(draw):
+    return Rule(
+        action=draw(actions),
+        protocol=draw(protocols),
+        src=draw(patterns()),
+        dst=draw(patterns()),
+        src_ports=draw(port_ranges()),
+        dst_ports=draw(port_ranges()),
+        symmetric=draw(st.booleans()),
+    )
+
+
+@st.composite
+def packets(draw):
+    protocol = draw(st.sampled_from([IpProtocol.TCP, IpProtocol.UDP]))
+    if protocol == IpProtocol.TCP:
+        payload = TcpSegment(src_port=draw(ports), dst_port=draw(ports))
+    else:
+        payload = UdpDatagram(src_port=draw(ports), dst_port=draw(ports))
+    return Ipv4Packet(src=draw(addresses), dst=draw(addresses), payload=payload)
+
+
+class TestMatcherProperties:
+    @given(rule_list=st.lists(rules(), max_size=10), packet=packets(), direction=directions)
+    def test_cache_transparency(self, rule_list, packet, direction):
+        # The memoised evaluation must agree with the uncached walk.
+        ruleset = RuleSet(rule_list)
+        cached = ruleset.evaluate(packet, direction)
+        fresh = ruleset._evaluate_uncached(packet, direction)
+        assert cached.action == fresh.action
+        assert cached.rules_traversed == fresh.rules_traversed
+        assert cached.rule is fresh.rule
+
+    @given(rule=rules(), packet=packets(), direction=directions)
+    def test_symmetric_match_is_an_involution(self, rule, packet, direction):
+        # A symmetric rule matches a packet iff it matches the mirrored
+        # packet (endpoints swapped).
+        if not rule.symmetric:
+            return
+        mirrored_payload = type(packet.payload)(
+            src_port=packet.flow()[4], dst_port=packet.flow()[2]
+        )
+        mirrored = Ipv4Packet(src=packet.dst, dst=packet.src, payload=mirrored_payload)
+        assert rule.matches(packet, direction) == rule.matches(mirrored, direction)
+
+    @given(rule_list=st.lists(rules(), max_size=10), packet=packets(), direction=directions)
+    def test_first_match_consistency(self, rule_list, packet, direction):
+        # The reported rule is the first matching one, and the traversal
+        # count equals the entry depth of that rule (or the full table).
+        ruleset = RuleSet(rule_list)
+        result = ruleset.evaluate(packet, direction)
+        depth = 0
+        for rule in rule_list:
+            depth += rule.rule_cost
+            if rule.matches(packet, direction):
+                assert result.rule is rule
+                assert result.rules_traversed == depth
+                return
+        assert result.rule is None
+        assert result.action == ruleset.default_action
+        assert result.rules_traversed == max(depth, 1)
+
+    @given(rule_list=st.lists(rules(), max_size=8), packet=packets())
+    def test_verdict_is_deterministic(self, rule_list, packet):
+        ruleset_a = RuleSet(rule_list)
+        ruleset_b = RuleSet(rule_list)
+        first = ruleset_a.evaluate(packet, Direction.INBOUND)
+        second = ruleset_b.evaluate(packet, Direction.INBOUND)
+        assert first.action == second.action
+        assert first.rules_traversed == second.rules_traversed
+
+    @given(
+        rule_list=st.lists(rules(), min_size=1, max_size=8),
+        packet=packets(),
+        direction=directions,
+        insert_at=st.integers(0, 8),
+    )
+    def test_appending_nonmatching_rule_never_changes_verdict(
+        self, rule_list, packet, direction, insert_at
+    ):
+        # Adding a rule that does not match the packet can change the
+        # traversal count but never the verdict of the first match...
+        ruleset = RuleSet(rule_list)
+        before = ruleset.evaluate(packet, direction)
+        non_matching = Rule(
+            action=Action.DENY,
+            protocol=IpProtocol.TCP,
+            src=AddressPattern.host(Ipv4Address("203.0.113.250")),
+            dst=AddressPattern.host(Ipv4Address("203.0.113.251")),
+            src_ports=PortRange.single(1),
+            dst_ports=PortRange.single(1),
+        )
+        if non_matching.matches(packet, direction):
+            return  # astronomically unlikely, but guard anyway
+        position = min(insert_at, len(rule_list))
+        ruleset.insert(position, non_matching)
+        after = ruleset.evaluate(packet, direction)
+        assert after.action == before.action
+        assert after.rule is before.rule

@@ -1,0 +1,244 @@
+"""Tests for rules, patterns, port ranges and rule-set evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.firewall.rules import (
+    Action,
+    AddressPattern,
+    Direction,
+    PortRange,
+    Rule,
+    VpgRule,
+)
+from repro.firewall.ruleset import RuleSet
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IcmpMessage, IcmpType, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram
+
+SRC = Ipv4Address("10.0.0.2")
+DST = Ipv4Address("10.0.0.3")
+
+
+def tcp_packet(src=SRC, dst=DST, sport=40000, dport=80):
+    return Ipv4Packet(src=src, dst=dst, payload=TcpSegment(src_port=sport, dst_port=dport))
+
+
+class TestPortRange:
+    def test_contains(self):
+        assert PortRange(10, 20).contains(15)
+        assert not PortRange(10, 20).contains(21)
+
+    def test_single_and_any(self):
+        assert PortRange.single(80).contains(80)
+        assert PortRange.any().is_any
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            PortRange(20, 10)
+        with pytest.raises(ValueError):
+            PortRange(0, 70000)
+
+    def test_overlaps(self):
+        assert PortRange(10, 20).overlaps(PortRange(20, 30))
+        assert not PortRange(10, 20).overlaps(PortRange(21, 30))
+
+    @given(
+        st.integers(0, 65535), st.integers(0, 65535),
+        st.integers(0, 65535), st.integers(0, 65535),
+    )
+    def test_subset_implies_overlap(self, a, b, c, d):
+        lo1, hi1 = sorted((a, b))
+        lo2, hi2 = sorted((c, d))
+        inner, outer = PortRange(lo1, hi1), PortRange(lo2, hi2)
+        if inner.is_subset_of(outer):
+            assert inner.overlaps(outer)
+
+
+class TestAddressPattern:
+    def test_any_matches_everything(self):
+        assert AddressPattern.any().matches(Ipv4Address("8.8.8.8"))
+
+    def test_host_pattern_is_exact(self):
+        pattern = AddressPattern.host(SRC)
+        assert pattern.matches(SRC)
+        assert not pattern.matches(SRC + 1)
+
+    def test_prefix_matching(self):
+        pattern = AddressPattern(Ipv4Address("10.0.0.0"), 8)
+        assert pattern.matches(Ipv4Address("10.255.255.255"))
+        assert not pattern.matches(Ipv4Address("11.0.0.0"))
+
+    def test_subset_relation(self):
+        narrow = AddressPattern(Ipv4Address("10.1.0.0"), 16)
+        wide = AddressPattern(Ipv4Address("10.0.0.0"), 8)
+        assert narrow.is_subset_of(wide)
+        assert not wide.is_subset_of(narrow)
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            AddressPattern(SRC, 40)
+
+    def test_str(self):
+        assert str(AddressPattern.any()) == "any"
+        assert str(AddressPattern.host(SRC)) == "10.0.0.2/32"
+
+    @given(st.integers(0, (1 << 32) - 1), st.integers(0, 32), st.integers(0, 32))
+    def test_subset_transitive_with_self(self, value, p1, p2):
+        address = Ipv4Address(value)
+        tight = AddressPattern(address, max(p1, p2))
+        loose = AddressPattern(address, min(p1, p2))
+        assert tight.is_subset_of(loose)
+
+
+class TestRuleMatching:
+    def test_protocol_filter(self):
+        rule = Rule(action=Action.ALLOW, protocol=IpProtocol.TCP)
+        assert rule.matches(tcp_packet(), Direction.INBOUND)
+        udp = Ipv4Packet(src=SRC, dst=DST, payload=UdpDatagram(1, 2))
+        assert not rule.matches(udp, Direction.INBOUND)
+
+    def test_wildcard_protocol_matches_icmp(self):
+        rule = Rule(action=Action.ALLOW)
+        icmp = Ipv4Packet(
+            src=SRC, dst=DST, payload=IcmpMessage(icmp_type=IcmpType.ECHO_REQUEST)
+        )
+        assert rule.matches(icmp, Direction.INBOUND)
+
+    def test_port_filters(self):
+        rule = Rule(
+            action=Action.ALLOW, protocol=IpProtocol.TCP, dst_ports=PortRange.single(80)
+        )
+        assert rule.matches(tcp_packet(dport=80), Direction.INBOUND)
+        assert not rule.matches(tcp_packet(dport=81), Direction.INBOUND)
+
+    def test_address_filters(self):
+        rule = Rule(action=Action.ALLOW, src=AddressPattern.host(SRC))
+        assert rule.matches(tcp_packet(src=SRC), Direction.INBOUND)
+        assert not rule.matches(tcp_packet(src=DST), Direction.INBOUND)
+
+    def test_direction_filter(self):
+        rule = Rule(action=Action.ALLOW, direction=Direction.INBOUND)
+        assert rule.matches(tcp_packet(), Direction.INBOUND)
+        assert not rule.matches(tcp_packet(), Direction.OUTBOUND)
+        both = Rule(action=Action.ALLOW, direction=Direction.BOTH)
+        assert both.matches(tcp_packet(), Direction.OUTBOUND)
+
+    def test_symmetric_rule_matches_mirrored_flow(self):
+        rule = Rule(
+            action=Action.ALLOW,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(5001),
+            symmetric=True,
+        )
+        inbound = tcp_packet(sport=40000, dport=5001)
+        response = tcp_packet(src=DST, dst=SRC, sport=5001, dport=40000)
+        assert rule.matches(inbound, Direction.INBOUND)
+        assert rule.matches(response, Direction.OUTBOUND)
+
+    def test_asymmetric_rule_misses_response(self):
+        rule = Rule(
+            action=Action.ALLOW,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(5001),
+            symmetric=False,
+        )
+        response = tcp_packet(src=DST, dst=SRC, sport=5001, dport=40000)
+        assert not rule.matches(response, Direction.OUTBOUND)
+
+    def test_vpg_rule_is_symmetric_and_costs_two(self):
+        rule = VpgRule(action=Action.ALLOW, vpg_id=7)
+        assert rule.symmetric
+        assert rule.rule_cost == 2
+        assert rule.matches_encrypted(7)
+        assert not rule.matches_encrypted(8)
+
+    def test_describe_mentions_action_and_name(self):
+        rule = Rule(action=Action.DENY, name="blocker")
+        text = rule.describe()
+        assert "deny" in text and "blocker" in text
+
+
+class TestRuleSetEvaluation:
+    def test_first_match_wins(self):
+        first = Rule(action=Action.DENY, protocol=IpProtocol.TCP)
+        second = Rule(action=Action.ALLOW, protocol=IpProtocol.TCP)
+        ruleset = RuleSet([first, second])
+        result = ruleset.evaluate(tcp_packet(), Direction.INBOUND)
+        assert result.action == Action.DENY
+        assert result.rule is first
+        assert result.rules_traversed == 1
+
+    def test_default_action_when_nothing_matches(self):
+        ruleset = RuleSet(
+            [Rule(action=Action.ALLOW, protocol=IpProtocol.UDP)],
+            default_action=Action.DENY,
+        )
+        result = ruleset.evaluate(tcp_packet(), Direction.INBOUND)
+        assert result.action == Action.DENY
+        assert result.rule is None
+        assert result.rules_traversed == 1  # full table walked
+
+    def test_rules_traversed_counts_vpg_pairs(self):
+        ruleset = RuleSet(
+            [
+                VpgRule(action=Action.ALLOW, vpg_id=1, src=AddressPattern.host(SRC), dst=AddressPattern.host(SRC)),
+                Rule(action=Action.ALLOW, protocol=IpProtocol.TCP),
+            ]
+        )
+        result = ruleset.evaluate(tcp_packet(), Direction.INBOUND)
+        assert result.rules_traversed == 3  # 2 (VPG pair) + 1
+
+    def test_table_size_and_depth_of(self):
+        vpg = VpgRule(action=Action.ALLOW, vpg_id=1)
+        plain = Rule(action=Action.ALLOW)
+        ruleset = RuleSet([vpg, plain])
+        assert ruleset.table_size == 3
+        assert ruleset.depth_of(plain) == 3
+        with pytest.raises(ValueError):
+            ruleset.depth_of(Rule(action=Action.DENY))
+
+    def test_encrypted_evaluation_matches_by_spi(self):
+        ruleset = RuleSet(
+            [
+                Rule(action=Action.DENY, protocol=IpProtocol.TCP),
+                VpgRule(action=Action.ALLOW, vpg_id=9),
+            ]
+        )
+        result = ruleset.evaluate_encrypted(9)
+        assert result.allowed and result.is_vpg
+        assert result.rules_traversed == 3
+        miss = ruleset.evaluate_encrypted(10)
+        assert miss.rule is None
+
+    def test_cache_invalidated_on_mutation(self):
+        ruleset = RuleSet([Rule(action=Action.ALLOW)], default_action=Action.DENY)
+        packet = tcp_packet()
+        assert ruleset.evaluate(packet, Direction.INBOUND).allowed
+        ruleset.insert(0, Rule(action=Action.DENY, protocol=IpProtocol.TCP))
+        assert not ruleset.evaluate(packet, Direction.INBOUND).allowed
+        ruleset.remove(ruleset.rules[0])
+        assert ruleset.evaluate(packet, Direction.INBOUND).allowed
+
+    def test_cached_result_identical_to_fresh(self):
+        ruleset = RuleSet([Rule(action=Action.ALLOW, protocol=IpProtocol.TCP)])
+        packet = tcp_packet()
+        first = ruleset.evaluate(packet, Direction.INBOUND)
+        second = ruleset.evaluate(packet, Direction.INBOUND)
+        assert first is second  # memoised
+
+    def test_find_vpg_for_packet(self):
+        vpg = VpgRule(
+            action=Action.ALLOW,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(80),
+            vpg_id=4,
+        )
+        ruleset = RuleSet([vpg])
+        hit = ruleset.find_vpg_for_packet(tcp_packet(dport=80))
+        assert hit is not None and hit.rule is vpg
+        assert ruleset.find_vpg_for_packet(tcp_packet(dport=81)) is None
+
+    def test_describe_lists_rules(self):
+        ruleset = RuleSet([Rule(action=Action.ALLOW, name="one")], name="demo")
+        text = ruleset.describe()
+        assert "demo" in text and "one" in text

@@ -1,0 +1,135 @@
+"""Tests for agent heartbeats and central lockup detection."""
+
+import pytest
+
+from repro.apps.flood import FloodGenerator, FloodKind, FloodSpec
+from repro.core.testbed import DeviceKind, Testbed
+from repro.firewall.builders import allow_all, deny_all
+from repro.net.packet import IpProtocol
+from repro.policy.audit import AuditEventKind
+
+
+def heartbeat_testbed(device=DeviceKind.EFW):
+    bed = Testbed(device=device)
+    bed.policy_server.enable_heartbeat_monitor(check_interval=0.5, grace=1.5)
+    bed.agents["target"].start_heartbeat(bed.policy_server.host.ip, interval=0.5)
+    return bed
+
+
+class TestHeartbeats:
+    def test_healthy_agent_stays_alive(self):
+        bed = heartbeat_testbed()
+        bed.install_target_policy(allow_all())
+        bed.run(5.0)
+        assert not bed.policy_server.agent_is_silent("target")
+        assert bed.agents["target"].heartbeats_sent >= 9
+        assert bed.policy_server.audit.events(kind=AuditEventKind.HEARTBEAT_MISSED) == []
+
+    def test_wedged_card_detected_centrally(self):
+        bed = heartbeat_testbed()
+        bed.install_target_policy(deny_all())
+        bed.run(2.0)
+        assert not bed.policy_server.agent_is_silent("target")
+        # Deny-flood wedges the EFW; its heartbeats stop reaching the wire.
+        flood = FloodGenerator(bed.attacker, FloodSpec(kind=FloodKind.UDP, dst_port=9))
+        flood.start(bed.target.ip, rate_pps=2000, duration=1.0)
+        bed.run(4.0)
+        assert bed.target.nic.wedged
+        assert bed.policy_server.agent_is_silent("target")
+        missed = bed.policy_server.audit.events(kind=AuditEventKind.HEARTBEAT_MISSED)
+        assert len(missed) == 1
+        assert missed[0].subject == "target"
+
+    def test_recovery_clears_silence(self):
+        bed = heartbeat_testbed()
+        bed.install_target_policy(deny_all())
+        flood = FloodGenerator(bed.attacker, FloodSpec(kind=FloodKind.UDP, dst_port=9))
+        flood.start(bed.target.ip, rate_pps=2000, duration=1.0)
+        bed.run(4.0)
+        assert bed.policy_server.agent_is_silent("target")
+        bed.restart_target_agent()
+        bed.run(2.0)
+        assert not bed.policy_server.agent_is_silent("target")
+
+    def test_double_enable_rejected(self):
+        bed = heartbeat_testbed()
+        with pytest.raises(RuntimeError):
+            bed.policy_server.enable_heartbeat_monitor()
+
+    def test_double_heartbeat_start_rejected(self):
+        bed = heartbeat_testbed()
+        with pytest.raises(RuntimeError):
+            bed.agents["target"].start_heartbeat(bed.policy_server.host.ip)
+
+    def test_stop_heartbeat(self):
+        bed = heartbeat_testbed()
+        bed.install_target_policy(allow_all())
+        bed.run(1.0)
+        bed.agents["target"].stop_heartbeat()
+        sent = bed.agents["target"].heartbeats_sent
+        bed.run(2.0)
+        assert bed.agents["target"].heartbeats_sent == sent
+        assert bed.policy_server.agent_is_silent("target")
+
+
+class TestControlChannel:
+    def test_policy_updates_survive_deny_all(self):
+        # The management plane is reserved: even a deny-all policy must
+        # not block subsequent pushes (else a card could never be
+        # re-policied).
+        bed = Testbed(device=DeviceKind.EFW)
+        bed.install_target_policy(deny_all(), networked_push=True)
+        assert bed.target.nic.policy is not None
+        first_policy = bed.target.nic.policy
+        bed.install_target_policy(allow_all(), networked_push=True)
+        bed.run(0.1)
+        assert bed.target.nic.policy is not first_policy
+        assert bed.policy_server.pushes_acked == 2
+
+    def test_control_traffic_detector(self):
+        from repro.net.addresses import Ipv4Address
+        from repro.net.packet import Ipv4Packet, TcpSegment, UdpDatagram
+        from repro.policy_ports import AGENT_PORT, is_control_traffic
+
+        a, b = Ipv4Address("10.0.0.1"), Ipv4Address("10.0.0.3")
+        push = Ipv4Packet(src=a, dst=b, payload=UdpDatagram(40000, AGENT_PORT))
+        assert is_control_traffic(push)
+        plain = Ipv4Packet(src=a, dst=b, payload=UdpDatagram(40000, 53))
+        assert not is_control_traffic(plain)
+        tcp_same_port = Ipv4Packet(
+            src=a, dst=b, payload=TcpSegment(src_port=40000, dst_port=AGENT_PORT)
+        )
+        assert not is_control_traffic(tcp_same_port)
+
+    def test_control_port_flood_costs_processor_time_but_never_wedges(self):
+        # The reserved channel is not rule-walked, so control packets are
+        # the card's *cheapest* — but they still cross the processor
+        # (substantial utilisation at high rates) and, being allowed, can
+        # never trigger the deny-flood lockup.
+        from repro.policy_ports import HEARTBEAT_PORT
+
+        bed = Testbed(device=DeviceKind.EFW)
+        bed.install_target_policy(deny_all())
+        flood = FloodGenerator(
+            bed.attacker, FloodSpec(kind=FloodKind.UDP, dst_port=HEARTBEAT_PORT)
+        )
+        flood.start(bed.target.ip, rate_pps=95000, duration=0.5)
+        bed.run(0.6)
+        nic = bed.target.nic
+        assert not nic.wedged
+        assert nic.rx_denied == 0
+        assert nic.rx_allowed > 40_000
+        assert nic.processor.utilisation(0.6) > 0.5
+
+
+class TestVpgAdministration:
+    def test_create_group_and_members_audited(self):
+        bed = Testbed(device=DeviceKind.ADF, client_device=DeviceKind.ADF)
+        server = bed.policy_server
+        group = server.create_vpg_group("web", protocol=IpProtocol.TCP, port=80)
+        server.add_vpg_member(group, bed.client.ip)
+        server.add_vpg_member(group, bed.target.ip)
+        kinds = [event.kind for event in server.audit.events()]
+        assert kinds.count(AuditEventKind.VPG_CREATED) == 1
+        assert kinds.count(AuditEventKind.VPG_MEMBER_ADDED) == 2
+        assert group.rule_for_member(bed.target.ip).vpg_id == group.vpg_id

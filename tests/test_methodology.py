@@ -1,0 +1,171 @@
+"""Tests for the validation methodology (reduced windows for speed)."""
+
+import pytest
+
+from repro.core.methodology import (
+    FloodToleranceValidator,
+    MeasurementSettings,
+    VPG_MSS,
+)
+from repro.core.testbed import DeviceKind
+from repro.firewall.rules import Action, Direction
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import Ipv4Packet, TcpSegment
+
+FAST = MeasurementSettings(duration=0.4)
+
+
+def tcp_packet(dport, sport=40000, src="10.0.0.4", dst="10.0.0.3"):
+    return Ipv4Packet(
+        src=Ipv4Address(src),
+        dst=Ipv4Address(dst),
+        payload=TcpSegment(src_port=sport, dst_port=dport),
+    )
+
+
+class TestRulesetConstruction:
+    def test_bandwidth_ruleset_depth(self):
+        validator = FloodToleranceValidator(DeviceKind.EFW, FAST)
+        for depth in (1, 8, 64):
+            ruleset = validator.bandwidth_ruleset(depth)
+            result = ruleset.evaluate(tcp_packet(5001), Direction.INBOUND)
+            assert result.allowed and result.rules_traversed == depth
+
+    def test_allowed_flood_shares_the_action_rule(self):
+        validator = FloodToleranceValidator(DeviceKind.EFW, FAST)
+        ruleset = validator.flood_ruleset(16, flood_allowed=True)
+        flood = ruleset.evaluate(tcp_packet(5001, sport=4444), Direction.INBOUND)
+        assert flood.allowed and flood.rules_traversed == 16
+
+    def test_denied_flood_rule_at_depth_with_iperf_after(self):
+        validator = FloodToleranceValidator(DeviceKind.EFW, FAST)
+        ruleset = validator.flood_ruleset(16, flood_allowed=False)
+        flood = ruleset.evaluate(tcp_packet(7777), Direction.INBOUND)
+        assert not flood.allowed and flood.rules_traversed == 16
+        iperf = ruleset.evaluate(tcp_packet(5001), Direction.INBOUND)
+        assert iperf.allowed and iperf.rules_traversed == 17
+
+    def test_action_rule_is_symmetric(self):
+        validator = FloodToleranceValidator(DeviceKind.EFW, FAST)
+        rule = validator.service_action_rule(5001)
+        response = tcp_packet(40000, sport=5001, src="10.0.0.3", dst="10.0.0.4")
+        assert rule.matches(response, Direction.OUTBOUND)
+
+
+class TestBandwidthMeasurement:
+    def test_standard_nic_baseline_near_line_rate(self):
+        validator = FloodToleranceValidator(DeviceKind.STANDARD, FAST)
+        measurement = validator.available_bandwidth(depth=1)
+        assert measurement.mbps > 85
+
+    def test_efw_bandwidth_decreases_with_depth(self):
+        validator = FloodToleranceValidator(DeviceKind.EFW, FAST)
+        shallow = validator.available_bandwidth(depth=1)
+        deep = validator.available_bandwidth(depth=64)
+        assert shallow.mbps > 85
+        assert deep.mbps < shallow.mbps * 0.65
+
+    def test_adf_slower_than_efw_at_depth(self):
+        efw = FloodToleranceValidator(DeviceKind.EFW, FAST).available_bandwidth(depth=64)
+        adf = FloodToleranceValidator(DeviceKind.ADF, FAST).available_bandwidth(depth=64)
+        assert adf.mbps < efw.mbps
+
+    def test_iptables_flat_at_depth_64(self):
+        validator = FloodToleranceValidator(DeviceKind.IPTABLES, FAST)
+        deep = validator.available_bandwidth(depth=64)
+        assert deep.mbps > 85
+
+    def test_vpg_measurement_uses_adf_on_both_ends(self):
+        validator = FloodToleranceValidator(DeviceKind.ADF, FAST)
+        measurement = validator.available_bandwidth(vpg_count=1)
+        assert 10 < measurement.mbps < 70  # crypto-limited, but alive
+
+    def test_vpg_requires_adf(self):
+        validator = FloodToleranceValidator(DeviceKind.EFW, FAST)
+        with pytest.raises(ValueError):
+            validator.available_bandwidth(vpg_count=1)
+
+    def test_additional_vpgs_nearly_free(self):
+        validator = FloodToleranceValidator(DeviceKind.ADF, FAST)
+        one = validator.available_bandwidth(vpg_count=1)
+        four = validator.available_bandwidth(vpg_count=4)
+        assert four.mbps > one.mbps * 0.8
+
+    def test_repetitions_average(self):
+        settings = MeasurementSettings(duration=0.3, repetitions=2)
+        validator = FloodToleranceValidator(DeviceKind.STANDARD, settings)
+        measurement = validator.available_bandwidth(depth=1)
+        assert measurement.mbps > 85
+
+    def test_flood_degrades_embedded_bandwidth(self):
+        validator = FloodToleranceValidator(DeviceKind.EFW, FAST)
+        clean = validator.bandwidth_under_flood(0)
+        flooded = validator.bandwidth_under_flood(40000)
+        assert flooded.mbps < clean.mbps * 0.5
+
+    def test_flood_leaves_standard_nic_mostly_alone(self):
+        validator = FloodToleranceValidator(DeviceKind.STANDARD, FAST)
+        flooded = validator.bandwidth_under_flood(20000)
+        assert flooded.mbps > 40
+
+    def test_vpg_mss_constant_fits_mtu(self):
+        # Sealed frame with VPG_MSS payload must not exceed 1518 bytes.
+        from repro.crypto.keys import VpgKeyStore
+
+        store = VpgKeyStore()
+        context = store.context_for(1)
+        inner = Ipv4Packet(
+            src=Ipv4Address("10.0.0.2"),
+            dst=Ipv4Address("10.0.0.3"),
+            payload=TcpSegment(src_port=1, dst_port=2, payload_size=VPG_MSS),
+        )
+        outer = context.seal(inner, inner.src, inner.dst)
+        assert 18 + outer.size <= 1518
+
+
+class TestMinimumFloodRate:
+    def test_efw_allow_deep_ruleset(self):
+        validator = FloodToleranceValidator(DeviceKind.EFW, FAST)
+        result = validator.minimum_flood_rate(64, flood_allowed=True, probe_duration=0.4)
+        assert result.measurable
+        assert 2000 < result.rate_pps < 12000
+
+    def test_deny_roughly_doubles_allow(self):
+        validator = FloodToleranceValidator(DeviceKind.ADF, FAST)
+        allow = validator.minimum_flood_rate(64, flood_allowed=True, probe_duration=0.4)
+        deny = validator.minimum_flood_rate(64, flood_allowed=False, probe_duration=0.4)
+        assert allow.measurable and deny.measurable
+        assert 1.4 < deny.rate_pps / allow.rate_pps < 3.0
+
+    def test_efw_deny_reports_lockup(self):
+        validator = FloodToleranceValidator(DeviceKind.EFW, FAST)
+        result = validator.minimum_flood_rate(64, flood_allowed=False, probe_duration=0.4)
+        assert result.lockup
+        assert not result.measurable
+        assert result.lockup_rate_pps <= 2000
+
+    def test_deeper_rules_lower_the_bar(self):
+        validator = FloodToleranceValidator(DeviceKind.EFW, FAST)
+        shallow = validator.minimum_flood_rate(1, flood_allowed=True, probe_duration=0.4)
+        deep = validator.minimum_flood_rate(64, flood_allowed=True, probe_duration=0.4)
+        assert shallow.measurable and deep.measurable
+        assert deep.rate_pps < shallow.rate_pps / 4
+
+
+class TestHttpAndValidate:
+    def test_http_depth_trend(self):
+        settings = MeasurementSettings(http_duration=1.0)
+        validator = FloodToleranceValidator(DeviceKind.ADF, settings)
+        shallow = validator.http_performance(depth=1)
+        deep = validator.http_performance(depth=64)
+        assert deep.fetches_per_second < shallow.fetches_per_second
+        assert deep.mean_connect_ms > shallow.mean_connect_ms
+
+    def test_validation_report_flags_embedded_vulnerability(self):
+        settings = MeasurementSettings(duration=0.3)
+        validator = FloodToleranceValidator(DeviceKind.EFW, settings)
+        report = validator.validate(depths=(1, 64))
+        assert report.flood_vulnerable
+        assert report.lockup_observed  # EFW deny probes wedge
+        assert report.max_safe_depth == 1
+        assert "Validation report" in report.summary()

@@ -1,0 +1,205 @@
+"""Tests for the traffic-aware rule-set optimizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.firewall.builders import padded_ruleset, padding_rule, service_rule
+from repro.firewall.optimizer import (
+    TrafficProfile,
+    expected_traversal_cost,
+    improvement,
+    must_precede,
+    optimize,
+    profile_ruleset,
+)
+from repro.firewall.rules import Action, Direction, PortRange, Rule
+from repro.firewall.ruleset import RuleSet
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpProtocol, Ipv4Packet, TcpSegment
+
+SRC = Ipv4Address("10.0.0.2")
+DST = Ipv4Address("10.0.0.3")
+
+
+def tcp_packet(dport):
+    return Ipv4Packet(
+        src=SRC, dst=DST, payload=TcpSegment(src_port=40000, dst_port=dport)
+    )
+
+
+def traffic(counts):
+    """counts: {dst_port: packets}"""
+    packets = []
+    for dport, n in counts.items():
+        packets.extend(tcp_packet(dport) for _ in range(n))
+    return packets
+
+
+def allow_padded(depth, action_rule):
+    """Padding that shares the action rule's ALLOW action, so reordering
+    is semantics-preserving (DENY padding would pin the order — see
+    TestMustPrecede)."""
+    rules = [padding_rule(index, action=Action.ALLOW) for index in range(depth - 1)]
+    rules.append(action_rule)
+    return RuleSet(rules)
+
+
+class TestProfiling:
+    def test_counts_first_matches(self):
+        ruleset = RuleSet(
+            [
+                service_rule(Action.ALLOW, IpProtocol.TCP, 80),
+                service_rule(Action.ALLOW, IpProtocol.TCP, 443),
+            ]
+        )
+        profile = profile_ruleset(ruleset, traffic({80: 3, 443: 7, 22: 2}))
+        assert profile.rule_weights == (3.0, 7.0)
+        assert profile.default_weight == 2.0
+        assert profile.total == 12
+
+    def test_expected_cost(self):
+        rules = [
+            service_rule(Action.ALLOW, IpProtocol.TCP, 80),
+            service_rule(Action.ALLOW, IpProtocol.TCP, 443),
+        ]
+        weights = {id(rules[0]): 1.0, id(rules[1]): 1.0}
+        # depths 1 and 2 -> mean 1.5
+        assert expected_traversal_cost(rules, weights) == pytest.approx(1.5)
+
+    def test_expected_cost_counts_default_as_full_walk(self):
+        rules = [service_rule(Action.ALLOW, IpProtocol.TCP, 80)]
+        assert expected_traversal_cost(rules, {}, default_weight=4.0) == pytest.approx(1.0)
+
+    def test_profile_length_mismatch_rejected(self):
+        ruleset = RuleSet([service_rule(Action.ALLOW, IpProtocol.TCP, 80)])
+        with pytest.raises(ValueError):
+            optimize(ruleset, TrafficProfile(rule_weights=(), default_weight=0, total=0))
+
+
+class TestMustPrecede:
+    def test_deny_padding_pins_an_overlapping_allow(self):
+        # The conservative overlap test keeps a broad ALLOW behind
+        # wildcard-port DENY padding: a packet hitting both would flip
+        # verdict if they swapped.  This is the paper's §4.3 tension made
+        # concrete — deny rules constrain how early services can move.
+        ruleset = padded_ruleset(
+            8, action_rule=service_rule(Action.ALLOW, IpProtocol.TCP, 5001)
+        )
+        profile = profile_ruleset(ruleset, traffic({5001: 100}))
+        optimized = optimize(ruleset, profile)
+        result = optimized.evaluate(tcp_packet(5001), Direction.INBOUND)
+        assert result.rules_traversed == 8  # pinned in place
+
+    def test_same_action_rules_commute(self):
+        wide = Rule(action=Action.ALLOW, protocol=IpProtocol.TCP)
+        narrow = service_rule(Action.ALLOW, IpProtocol.TCP, 80)
+        assert not must_precede(wide, narrow)
+
+    def test_overlapping_different_actions_are_ordered(self):
+        deny = Rule(action=Action.DENY, protocol=IpProtocol.TCP, dst_ports=PortRange(1, 100))
+        allow = Rule(action=Action.ALLOW, protocol=IpProtocol.TCP, dst_ports=PortRange(80, 200))
+        assert must_precede(deny, allow)
+
+    def test_disjoint_different_actions_commute(self):
+        deny = service_rule(Action.DENY, IpProtocol.TCP, 22)
+        allow = service_rule(Action.ALLOW, IpProtocol.TCP, 80)
+        assert not must_precede(deny, allow)
+
+
+class TestOptimize:
+    def test_hot_rule_moves_to_front(self):
+        ruleset = allow_padded(64, service_rule(Action.ALLOW, IpProtocol.TCP, 5001))
+        profile = profile_ruleset(ruleset, traffic({5001: 100}))
+        optimized = optimize(ruleset, profile)
+        result = optimized.evaluate(tcp_packet(5001), Direction.INBOUND)
+        assert result.allowed
+        assert result.rules_traversed == 1
+
+    def test_semantics_preserved_on_sample_traffic(self):
+        # A rule-set with deliberate overlap: a deny inside an allow range.
+        deny = Rule(
+            action=Action.DENY,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(8080),
+            name="deny-8080",
+        )
+        allow = Rule(
+            action=Action.ALLOW,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange(8000, 8100),
+            name="allow-8xxx",
+        )
+        cold = service_rule(Action.ALLOW, IpProtocol.TCP, 22)
+        ruleset = RuleSet([deny, allow, cold])
+        sample = traffic({8080: 5, 8050: 50, 22: 1})
+        profile = profile_ruleset(ruleset, sample)
+        optimized = optimize(ruleset, profile)
+        for packet in sample:
+            before = ruleset.evaluate(packet, Direction.INBOUND).action
+            after = optimized.evaluate(packet, Direction.INBOUND).action
+            assert before == after
+        # The hot allow rule cannot jump the conflicting deny.
+        names = [rule.name for rule in optimized.rules]
+        assert names.index("deny-8080") < names.index("allow-8xxx")
+
+    def test_cost_never_increases(self):
+        ruleset = allow_padded(32, service_rule(Action.ALLOW, IpProtocol.TCP, 5001))
+        profile = profile_ruleset(ruleset, traffic({5001: 10, 9999: 3}))
+        original_cost, optimized_cost = improvement(ruleset, optimize(ruleset, profile), profile)
+        assert optimized_cost <= original_cost
+        assert optimized_cost == pytest.approx(
+            (10 * 1 + 3 * 32) / 13
+        )  # hot rule first, misses walk everything
+
+    def test_uniform_profile_keeps_original_order(self):
+        rules = [service_rule(Action.ALLOW, IpProtocol.TCP, port) for port in (80, 443, 22)]
+        ruleset = RuleSet(rules)
+        profile = TrafficProfile(rule_weights=(1.0, 1.0, 1.0), default_weight=0.0, total=3)
+        optimized = optimize(ruleset, profile)
+        assert [r.name for r in optimized.rules] == [r.name for r in rules]
+
+    def test_optimized_ruleset_speeds_up_the_testbed(self):
+        # End to end: a badly-ordered policy costs bandwidth on the EFW;
+        # the optimizer recovers it.
+        from repro.apps.iperf import IperfClient, IperfServer
+        from repro.core.testbed import DeviceKind, Testbed
+
+        def measure(policy):
+            bed = Testbed(device=DeviceKind.EFW)
+            bed.install_target_policy(policy)
+            IperfServer(bed.target)
+            session = IperfClient(bed.client).start_tcp(bed.target.ip, duration=0.4)
+            bed.run(0.45)
+            return session.result().mbps
+
+        action = Rule(
+            action=Action.ALLOW,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(5001),
+            symmetric=True,
+        )
+        bad = allow_padded(64, action)
+        profile = profile_ruleset(bad, traffic({5001: 100}))
+        good = optimize(bad, profile)
+        slow = measure(bad)
+        fast = measure(good)
+        assert fast > slow * 1.5
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0, max_value=100), min_size=3, max_size=8
+        )
+    )
+    def test_disjoint_rules_sorted_by_weight_property(self, weights):
+        rules = [
+            service_rule(Action.ALLOW, IpProtocol.TCP, 1000 + index)
+            for index in range(len(weights))
+        ]
+        ruleset = RuleSet(rules)
+        profile = TrafficProfile(
+            rule_weights=tuple(weights), default_weight=0.0, total=int(sum(weights))
+        )
+        optimized = optimize(ruleset, profile)
+        weight_of = {id(rule): weight for rule, weight in zip(rules, weights)}
+        ordered = [weight_of[id(rule)] for rule in optimized.rules]
+        assert ordered == sorted(ordered, reverse=True)

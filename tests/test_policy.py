@@ -1,0 +1,160 @@
+"""Tests for the policy server, NIC agents, VPG groups and audit trail."""
+
+import pytest
+
+from repro.firewall.builders import allow_all, deny_all
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpProtocol
+from repro.nic.efw import EfwNic
+from repro.policy.audit import AuditEventKind, AuditLog
+from repro.policy.groups import VpgGroupManager
+from repro.policy.server import NicAgent, PolicyServer
+
+
+@pytest.fixture
+def policy_net(mininet):
+    """alice runs the policy server; bob carries an EFW with an agent."""
+    alice, bob = mininet["alice"], mininet["bob"]
+    # Swap bob's NIC for an EFW.
+    efw = EfwNic(mininet.sim, lockup_enabled=False)
+    port = bob.nic.port
+    port.device = None
+    efw.attach(port)
+    bob.nic = None
+    bob.attach_nic(efw)
+    server = PolicyServer(alice)
+    agent = NicAgent(bob, efw)
+    server.register_agent(agent)
+    return mininet, server, agent, bob
+
+
+class TestPolicyServer:
+    def test_define_and_lookup(self, policy_net):
+        _, server, _, _ = policy_net
+        server.define_policy("p", allow_all())
+        assert server.policy("p").table_size == 1
+        with pytest.raises(KeyError):
+            server.policy("missing")
+
+    def test_inline_push_installs_policy(self, policy_net):
+        _, server, agent, bob = policy_net
+        server.define_policy("p", allow_all())
+        server.assign("bob", "p")
+        server.push_policy("bob", inline=True)
+        assert bob.nic.policy is not None
+        assert agent.installs == 1
+        assert server.pushes_acked == 1
+
+    def test_networked_push_travels_as_udp(self, policy_net):
+        mininet, server, agent, bob = policy_net
+        server.define_policy("p", deny_all())
+        server.assign("bob", "p")
+        server.push_policy("bob", inline=False)
+        assert bob.nic.policy is None  # not yet delivered
+        mininet.run(0.1)
+        assert bob.nic.policy is not None
+        assert server.pushes_acked == 1
+        events = server.audit.events(kind=AuditEventKind.POLICY_PUSHED)
+        assert events and events[0].details["transport"] == "udp"
+
+    def test_assign_requires_known_policy_and_agent(self, policy_net):
+        _, server, _, _ = policy_net
+        with pytest.raises(KeyError):
+            server.assign("bob", "missing")
+        server.define_policy("p", allow_all())
+        server.assign("bob", "p")
+        with pytest.raises(KeyError):
+            server.push_policy("charlie")
+
+    def test_push_without_assignment_rejected(self, policy_net):
+        _, server, _, _ = policy_net
+        with pytest.raises(KeyError):
+            server.push_policy("bob")
+
+    def test_push_all(self, policy_net):
+        _, server, _, bob = policy_net
+        server.define_policy("p", allow_all())
+        server.assign("bob", "p")
+        server.push_all(inline=True)
+        assert bob.nic.policy is not None
+
+    def test_audit_records_lifecycle(self, policy_net):
+        _, server, _, _ = policy_net
+        server.define_policy("p", allow_all())
+        server.assign("bob", "p")
+        server.push_policy("bob", inline=True)
+        kinds = [event.kind for event in server.audit.events()]
+        assert kinds == [
+            AuditEventKind.POLICY_DEFINED,
+            AuditEventKind.POLICY_ASSIGNED,
+            AuditEventKind.POLICY_PUSHED,
+        ]
+
+    def test_agent_restart_delegates_to_nic(self, policy_net):
+        _, _, agent, bob = policy_net
+        agent.restart()
+        assert bob.nic.agent_restarts == 1
+
+
+class TestAuditLog:
+    def test_filtering(self):
+        log = AuditLog()
+        log.record(1.0, AuditEventKind.POLICY_DEFINED, "a")
+        log.record(2.0, AuditEventKind.POLICY_PUSHED, "b", policy="p")
+        assert len(log) == 2
+        assert len(log.events(kind=AuditEventKind.POLICY_PUSHED)) == 1
+        assert len(log.events(subject="a")) == 1
+
+    def test_str_rendering(self):
+        log = AuditLog()
+        log.record(1.5, AuditEventKind.VPG_CREATED, "group-x", vpg_id=3)
+        assert "vpg-created group-x vpg_id=3" in str(log.events()[0])
+
+
+class TestVpgGroups:
+    def test_create_and_lookup(self):
+        manager = VpgGroupManager()
+        group = manager.create_group("sensors", protocol=IpProtocol.UDP, port=7000)
+        assert manager.group("sensors") is group
+        assert len(manager) == 1
+
+    def test_duplicate_name_rejected(self):
+        manager = VpgGroupManager()
+        manager.create_group("g")
+        with pytest.raises(ValueError):
+            manager.create_group("g")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            VpgGroupManager().group("nope")
+
+    def test_ids_are_unique_and_increasing(self):
+        manager = VpgGroupManager(first_id=10)
+        a = manager.create_group("a")
+        b = manager.create_group("b")
+        assert (a.vpg_id, b.vpg_id) == (10, 11)
+
+    def test_membership_and_groups_for(self):
+        manager = VpgGroupManager()
+        group_a = manager.create_group("a")
+        group_b = manager.create_group("b")
+        member = Ipv4Address("10.0.0.5")
+        manager.add_member(group_a, member)
+        manager.add_member(group_b, member)
+        assert [group.name for group in manager.groups_for(member)] == ["a", "b"]
+
+    def test_rule_for_member(self):
+        manager = VpgGroupManager()
+        group = manager.create_group("web", protocol=IpProtocol.TCP, port=443)
+        member = Ipv4Address("10.0.0.5")
+        manager.add_member(group, member)
+        rule = group.rule_for_member(member)
+        assert rule.vpg_id == group.vpg_id
+        assert rule.dst_ports.contains(443)
+        assert rule.symmetric
+
+    def test_rule_for_non_member_rejected(self):
+        manager = VpgGroupManager()
+        group = manager.create_group("web")
+        with pytest.raises(ValueError):
+            group.rule_for_member(Ipv4Address("10.0.0.5"))

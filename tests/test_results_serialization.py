@@ -1,0 +1,52 @@
+"""Tests for experiment-result JSON serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.methodology import MinimumFloodResult
+from repro.core.testbed import DeviceKind
+from repro.experiments.fig2_bandwidth import Fig2Result
+from repro.experiments.results import serialize, to_json, write_json
+
+
+class TestSerialize:
+    def test_dataclass_becomes_tagged_dict(self):
+        result = MinimumFloodResult(rule_depth=64, flood_allowed=True, rate_pps=4500.0)
+        record = serialize(result)
+        assert record["_type"] == "MinimumFloodResult"
+        assert record["rule_depth"] == 64
+        assert record["rate_pps"] == 4500.0
+
+    def test_enum_becomes_value(self):
+        assert serialize(DeviceKind.EFW) == "efw"
+
+    def test_nan_and_inf_become_null(self):
+        assert serialize(float("nan")) is None
+        assert serialize(float("inf")) is None
+
+    def test_tuples_become_lists(self):
+        assert serialize(((1, 2.5), (3, 4.5))) == [[1, 2.5], [3, 4.5]]
+
+    def test_nested_result_round_trips_through_json(self):
+        result = Fig2Result(series={"EFW": [(1, 94.8), (64, 47.8)]})
+        parsed = json.loads(to_json(result))
+        assert parsed["series"]["EFW"] == [[1, 94.8], [64, 47.8]]
+        assert parsed["_type"] == "Fig2Result"
+
+    def test_non_string_dict_keys_stringified(self):
+        assert serialize({64: "deep"}) == {"64": "deep"}
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json({"a": (1, 2)}, str(path))
+        assert json.loads(path.read_text()) == {"a": [1, 2]}
+
+    def test_plain_object_falls_back_to_dict(self):
+        class Plain:
+            def __init__(self):
+                self.x = 7
+
+        record = serialize(Plain())
+        assert record == {"_type": "Plain", "x": 7}

@@ -1,0 +1,141 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_same_time_events_run_fifo(self, sim):
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(7.25, fired.append, "x")
+        sim.run()
+        assert sim.now == 7.25
+        assert fired == ["x"]
+
+    def test_call_soon_runs_at_current_time(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.call_soon(fired.append, sim.now))
+        sim.run()
+        assert fired == [1.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, fired.append, "nested"))
+        sim.run()
+        assert fired == ["nested"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert not event.pending
+
+    def test_cancel_releases_callback_references(self, sim):
+        big = object()
+        event = sim.schedule(1.0, lambda x: None, big)
+        event.cancel()
+        assert event.args == ()
+
+    def test_pending_count_excludes_cancelled(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_count() == 1
+        assert keep.pending
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+
+    def test_run_until_advances_clock_even_with_no_events(self, sim):
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_remaining_events_run_on_next_run(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.run(until=1.0)
+        sim.run()
+        assert fired == ["late"]
+
+    def test_max_events_bounds_execution(self, sim):
+        fired = []
+        for tag in range(10):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_runs_single_event(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        assert sim.step()
+        assert fired == ["a"]
+
+    def test_step_on_empty_heap_returns_false(self, sim):
+        assert not sim.step()
+
+    def test_run_is_not_reentrant(self, sim):
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_executed_counter(self, sim):
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 4
+
+    def test_start_time_constructor(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0

@@ -1,0 +1,123 @@
+"""Tests for one-shot and periodic timers."""
+
+import pytest
+
+from repro.sim.timer import PeriodicTimer, Timer
+
+
+class TestTimer:
+    def test_fires_after_interval(self, sim):
+        fired = []
+        timer = Timer(sim, fired.append, "x")
+        timer.start(2.0)
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 2.0
+
+    def test_stop_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, fired.append, "x")
+        timer.start(2.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_restart_resets_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run(until=1.0)
+        timer.restart(2.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_double_start_rejected(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        with pytest.raises(RuntimeError):
+            timer.start(1.0)
+
+    def test_running_property(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.running
+        timer.start(1.0)
+        assert timer.running
+        sim.run()
+        assert not timer.running
+
+    def test_restartable_after_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_stop_is_idempotent(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.stop()
+        timer.stop()
+        assert not timer.running
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly(self, sim):
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        assert timer.fired == 3
+
+    def test_initial_delay_overrides_first_interval(self, sim):
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start(initial_delay=0.25)
+        sim.run(until=2.5)
+        assert fired == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_series(self, sim):
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_callback_may_stop_itself(self, sim):
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            if len(fired) == 2:
+                timer.stop()
+
+        timer = PeriodicTimer(sim, 1.0, tick)
+        timer.start()
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_interval_change_takes_effect_after_next_firing(self, sim):
+        # Re-arming happens before the callback runs, so a change made in
+        # the callback applies from the firing after next.
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            timer.interval = 2.0
+
+        timer = PeriodicTimer(sim, 1.0, tick)
+        timer.start()
+        sim.run(until=5.5)
+        assert fired == [1.0, 2.0, 4.0]
+
+    def test_nonpositive_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_double_start_rejected(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()

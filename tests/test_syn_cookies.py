@@ -1,0 +1,115 @@
+"""Tests for SYN-cookie defence against backlog-exhaustion SYN floods."""
+
+import pytest
+
+from repro.apps.flood import FloodGenerator, FloodKind, FloodSpec
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import Ipv4Packet, TcpFlags, TcpSegment
+
+
+def spoofed_syn_flood(net, target, listener_port, count=50):
+    """Raw SYNs from addresses that will never complete a handshake."""
+    attacker = net["mallory"]
+    for index in range(count):
+        syn = Ipv4Packet(
+            src=Ipv4Address(f"172.16.1.{index % 250 + 1}"),
+            dst=target.ip,
+            payload=TcpSegment(src_port=1000 + index, dst_port=listener_port, flags=TcpFlags.SYN),
+        )
+        attacker.ip_layer.send_packet(syn)
+
+
+class TestSynCookies:
+    def test_normal_handshake_unaffected_by_cookie_mode(self, trinet):
+        alice, bob = trinet["alice"], trinet["bob"]
+        accepted = []
+        bob.tcp.listen(5001, accepted.append, syn_cookies=True)
+        conn = alice.tcp.connect(bob.ip, 5001)
+        done = []
+        conn.on_connected = lambda c: done.append(True)
+        trinet.run(0.5)
+        assert done and accepted
+
+    def test_flooded_backlog_without_cookies_locks_clients_out(self, trinet):
+        alice, bob = trinet["alice"], trinet["bob"]
+        listener = bob.tcp.listen(5001, lambda conn: None, backlog=8, syn_cookies=False)
+        spoofed_syn_flood(trinet, bob, 5001, count=40)
+        trinet.run(0.2)
+        assert listener.half_open == 8
+        # A legitimate client's SYN now hits the full backlog and is
+        # dropped; the connect stalls into retries.
+        conn = alice.tcp.connect(bob.ip, 5001)
+        connected = []
+        conn.on_connected = lambda c: connected.append(True)
+        trinet.run(0.5)
+        assert not connected
+        assert listener.dropped_syn_backlog > 40 - 8
+
+    def test_cookies_keep_accepting_under_the_same_flood(self, trinet):
+        alice, bob = trinet["alice"], trinet["bob"]
+        accepted = []
+
+        def on_accept(conn):
+            accepted.append(conn)
+            conn.on_data = lambda c, data, size: received.append((data, size))
+
+        received = []
+        listener = bob.tcp.listen(5001, on_accept, backlog=8, syn_cookies=True)
+        spoofed_syn_flood(trinet, bob, 5001, count=40)
+        trinet.run(0.2)
+        assert listener.half_open == 8  # state still bounded
+        assert listener.cookies_sent >= 30
+        conn = alice.tcp.connect(bob.ip, 5001)
+        connected = []
+        conn.on_connected = lambda c: (connected.append(True), c.send(5, b"hello"))
+        trinet.run(0.5)
+        assert connected
+        assert listener.cookies_validated == 1
+        assert received and received[0][0] == b"hello"
+
+    def test_cookie_connection_carries_bulk_data(self, trinet):
+        alice, bob = trinet["alice"], trinet["bob"]
+        received = []
+
+        def on_accept(conn):
+            conn.on_data = lambda c, data, size: received.append(size)
+
+        bob.tcp.listen(5001, on_accept, backlog=1, syn_cookies=True)
+        # Exhaust the one-slot backlog so alice's handshake uses a cookie.
+        spoofed_syn_flood(trinet, bob, 5001, count=5)
+        trinet.run(0.1)
+        conn = alice.tcp.connect(bob.ip, 5001)
+        conn.on_connected = lambda c: c.send(100_000)
+        trinet.run(2.0)
+        assert sum(received) == 100_000
+
+    def test_forged_ack_without_valid_cookie_gets_rst(self, trinet):
+        bob, mallory = trinet["bob"], trinet["mallory"]
+        listener = bob.tcp.listen(5001, lambda conn: None, backlog=1, syn_cookies=True)
+        forged = Ipv4Packet(
+            src=mallory.ip,
+            dst=bob.ip,
+            payload=TcpSegment(
+                src_port=4444, dst_port=5001, seq=1234, ack=9999, flags=TcpFlags.ACK
+            ),
+        )
+        mallory.ip_layer.send_packet(forged)
+        trinet.run(0.1)
+        assert listener.cookies_validated == 0
+        assert bob.tcp.rst_sent == 1
+
+    def test_cookie_is_endpoint_specific(self, trinet):
+        # A cookie minted for one 4-tuple does not validate another.
+        bob, mallory = trinet["bob"], trinet["mallory"]
+        listener = bob.tcp.listen(5001, lambda conn: None, backlog=1, syn_cookies=True)
+        cookie = bob.tcp._cookie(mallory.ip, 4444, 5001, 100)
+        wrong_port = Ipv4Packet(
+            src=mallory.ip,
+            dst=bob.ip,
+            payload=TcpSegment(
+                src_port=4445, dst_port=5001, seq=101, ack=cookie + 1, flags=TcpFlags.ACK
+            ),
+        )
+        mallory.ip_layer.send_packet(wrong_port)
+        trinet.run(0.1)
+        assert listener.cookies_validated == 0

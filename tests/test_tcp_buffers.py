@@ -1,0 +1,138 @@
+"""Tests for the TCP send/receive stream buffers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.host.tcp import ReceiveBuffer, SendBuffer
+
+
+class TestSendBuffer:
+    def test_write_accumulates_length(self):
+        buffer = SendBuffer()
+        buffer.write(100)
+        buffer.write(50, b"hello")
+        assert buffer.length == 150
+
+    def test_slice_returns_real_bytes_at_offset(self):
+        buffer = SendBuffer()
+        buffer.write(10)
+        buffer.write(5, b"hello")
+        assert buffer.slice(10, 15) == b"hello"
+
+    def test_slice_of_size_only_region_is_empty(self):
+        buffer = SendBuffer()
+        buffer.write(100)
+        assert buffer.slice(0, 50) == b""
+
+    def test_slice_partial_chunk(self):
+        buffer = SendBuffer()
+        buffer.write(6, b"abcdef")
+        assert buffer.slice(2, 4) == b"cd"
+
+    def test_slice_zero_fills_gap_before_chunk(self):
+        buffer = SendBuffer()
+        buffer.write(4)
+        buffer.write(2, b"xy")
+        piece = buffer.slice(0, 6)
+        assert piece == b"\x00\x00\x00\x00xy"
+
+    def test_slice_bounds_checked(self):
+        buffer = SendBuffer()
+        buffer.write(10)
+        with pytest.raises(ValueError):
+            buffer.slice(5, 20)
+        with pytest.raises(ValueError):
+            buffer.slice(-1, 5)
+
+    def test_data_longer_than_size_rejected(self):
+        buffer = SendBuffer()
+        with pytest.raises(ValueError):
+            buffer.write(2, b"abc")
+
+    def test_negative_size_rejected(self):
+        buffer = SendBuffer()
+        with pytest.raises(ValueError):
+            buffer.write(-1)
+
+    def test_release_before_forgets_acked_chunks(self):
+        buffer = SendBuffer()
+        buffer.write(5, b"aaaaa")
+        buffer.write(5, b"bbbbb")
+        buffer.release_before(5)
+        assert buffer.slice(5, 10) == b"bbbbb"
+        assert buffer.slice(0, 5) == b""  # forgotten (already acked)
+
+
+class TestReceiveBuffer:
+    def test_in_order_delivery(self):
+        buffer = ReceiveBuffer(1000)
+        pieces = buffer.offer(1000, 10, b"0123456789")
+        assert pieces == [(10, b"0123456789")]
+        assert buffer.rcv_nxt == 1010
+
+    def test_duplicate_ignored(self):
+        buffer = ReceiveBuffer(1000)
+        buffer.offer(1000, 10, b"")
+        assert buffer.offer(1000, 10, b"") == []
+
+    def test_partial_overlap_trimmed(self):
+        buffer = ReceiveBuffer(1000)
+        buffer.offer(1000, 10, b"abcdefghij")
+        pieces = buffer.offer(1005, 10, b"fghijKLMNO")
+        assert pieces == [(5, b"KLMNO")]
+        assert buffer.rcv_nxt == 1015
+
+    def test_out_of_order_buffered_then_released(self):
+        buffer = ReceiveBuffer(0)
+        assert buffer.offer(10, 10, b"BBBBBBBBBB") == []
+        assert buffer.out_of_order_count == 1
+        pieces = buffer.offer(0, 10, b"AAAAAAAAAA")
+        assert pieces == [(10, b"AAAAAAAAAA"), (10, b"BBBBBBBBBB")]
+        assert buffer.rcv_nxt == 20
+        assert buffer.out_of_order_count == 0
+
+    def test_multiple_gaps_fill_in_any_order(self):
+        buffer = ReceiveBuffer(0)
+        buffer.offer(20, 10, b"C" * 10)
+        buffer.offer(10, 10, b"B" * 10)
+        pieces = buffer.offer(0, 10, b"A" * 10)
+        assert [size for size, _ in pieces] == [10, 10, 10]
+        assert buffer.rcv_nxt == 30
+
+    def test_sack_blocks_report_merged_ranges(self):
+        buffer = ReceiveBuffer(0)
+        buffer.offer(10, 10, b"")
+        buffer.offer(20, 10, b"")
+        buffer.offer(50, 5, b"")
+        assert buffer.sack_blocks() == ((10, 30), (50, 55))
+
+    def test_sack_blocks_empty_when_in_order(self):
+        buffer = ReceiveBuffer(0)
+        buffer.offer(0, 10, b"")
+        assert buffer.sack_blocks() == ()
+
+    def test_sack_blocks_limit(self):
+        buffer = ReceiveBuffer(0)
+        for start in (10, 30, 50, 70, 90):
+            buffer.offer(start, 5, b"")
+        assert len(buffer.sack_blocks(limit=3)) == 3
+
+    @given(st.permutations(list(range(12))), st.data())
+    def test_random_segmentation_reassembles_exactly(self, order, data):
+        # Split a known stream into 12 contiguous pieces, deliver them in
+        # an arbitrary order (with some duplicates), and require the
+        # delivered stream to equal the original.
+        stream = bytes(range(96))
+        piece_size = 8
+        buffer = ReceiveBuffer(0)
+        delivered = bytearray()
+        for index in order:
+            start = index * piece_size
+            chunk = stream[start : start + piece_size]
+            for size, piece in buffer.offer(start, piece_size, chunk):
+                delivered.extend(piece if piece else b"\x00" * size)
+            if data.draw(st.booleans()):
+                # Duplicate delivery must never corrupt the stream.
+                for size, piece in buffer.offer(start, piece_size, chunk):
+                    delivered.extend(piece if piece else b"\x00" * size)
+        assert bytes(delivered) == stream

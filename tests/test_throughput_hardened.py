@@ -1,0 +1,157 @@
+"""Tests for the RFC 2544-style throughput tester and the hardened NIC."""
+
+import pytest
+
+from repro import calibration
+from repro.core.testbed import DeviceKind
+from repro.core.throughput import ThroughputTester, TrialResult
+from repro.nic.hardened import HARDENED_COST_MODEL
+from repro.sim import units
+
+
+class TestTrial:
+    def test_low_rate_trial_is_lossless(self):
+        tester = ThroughputTester(DeviceKind.EFW, trial_duration=0.2)
+        outcome = tester.trial(1000)
+        assert outcome.sent == pytest.approx(200, rel=0.05)
+        assert outcome.loss_ratio < 0.01
+
+    def test_overload_trial_shows_loss(self):
+        tester = ThroughputTester(DeviceKind.EFW, rule_depth=64, trial_duration=0.2)
+        outcome = tester.trial(50_000)  # far above the ~9.6k capacity
+        assert outcome.loss_ratio > 0.5
+
+    def test_loss_ratio_empty_trial(self):
+        result = TrialResult(offered_pps=100, sent=0, received=0)
+        assert result.loss_ratio == 0.0
+
+    def test_frame_size_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputTester(DeviceKind.EFW, frame_bytes=32)
+        with pytest.raises(ValueError):
+            ThroughputTester(DeviceKind.EFW, frame_bytes=9000)
+
+
+class TestSearch:
+    def test_efw_64b_matches_cost_model(self):
+        tester = ThroughputTester(DeviceKind.EFW, frame_bytes=64, rule_depth=1)
+        result = tester.search()
+        predicted = calibration.EFW_COST_MODEL.capacity_pps(64, 1)
+        assert result.rate_pps == pytest.approx(predicted, rel=0.07)
+        assert not result.wire_limited
+
+    def test_efw_64b_depth64_matches_cost_model(self):
+        tester = ThroughputTester(DeviceKind.EFW, frame_bytes=64, rule_depth=64)
+        result = tester.search()
+        predicted = calibration.EFW_COST_MODEL.capacity_pps(64, 64)
+        assert result.rate_pps == pytest.approx(predicted, rel=0.07)
+
+    def test_efw_full_frames_one_rule_is_wire_limited(self):
+        # The paper: with one rule the EFW supports full bandwidth.
+        tester = ThroughputTester(DeviceKind.EFW, frame_bytes=1518, rule_depth=1)
+        result = tester.search()
+        assert result.wire_limited
+        assert result.rate_pps == pytest.approx(units.MAX_FRAME_RATE_1518B, rel=0.01)
+
+    def test_standard_nic_is_wire_limited_at_min_frames(self):
+        tester = ThroughputTester(DeviceKind.STANDARD, frame_bytes=64)
+        result = tester.search()
+        assert result.wire_limited
+
+    def test_mbps_property(self):
+        tester = ThroughputTester(DeviceKind.STANDARD, frame_bytes=1518)
+        result = tester.search()
+        assert result.mbps == pytest.approx(result.rate_pps * 1518 * 8 / 1e6)
+
+
+class TestHardenedNic:
+    def test_cost_model_beats_wire_rate_with_responses(self):
+        # Flood + response pair must fit inside one 64-byte frame time.
+        per_packet = HARDENED_COST_MODEL.service_time(64, rules_traversed=64)
+        frame_time = 1.0 / units.MAX_FRAME_RATE_64B
+        assert 2 * per_packet < frame_time
+
+    def test_wire_limited_even_at_depth_64(self):
+        tester = ThroughputTester(DeviceKind.HARDENED, frame_bytes=64, rule_depth=64)
+        result = tester.search()
+        assert result.wire_limited
+
+    def test_bandwidth_flat_to_64_rules(self):
+        from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
+
+        validator = FloodToleranceValidator(
+            DeviceKind.HARDENED, MeasurementSettings(duration=0.4)
+        )
+        shallow = validator.available_bandwidth(depth=1)
+        deep = validator.available_bandwidth(depth=64)
+        assert shallow.mbps > 90
+        assert deep.mbps > 0.95 * shallow.mbps
+
+    def test_flood_tolerance_matches_bare_nic_bound(self):
+        # At ~148k pps of minimum frames the 100 Mbps wire itself is
+        # saturated: even a standard NIC's host is denied service by pure
+        # link exhaustion.  "Sufficient tolerance" means the firewall is
+        # never the weaker link — its minimum DoS rate equals the bare
+        # NIC's within measurement noise.
+        from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
+
+        settings = MeasurementSettings(duration=0.4)
+        hardened = FloodToleranceValidator(DeviceKind.HARDENED, settings).minimum_flood_rate(
+            64, flood_allowed=True, probe_duration=0.4
+        )
+        bare = FloodToleranceValidator(DeviceKind.STANDARD, settings).minimum_flood_rate(
+            1, flood_allowed=True, probe_duration=0.4
+        )
+        hardened_rate = hardened.rate_pps if hardened.measurable else float("inf")
+        bare_rate = bare.rate_pps if bare.measurable else float("inf")
+        assert hardened_rate >= 0.85 * bare_rate
+        # And far beyond the EFW's ~5k pps at the same depth.
+        assert hardened_rate > 50_000
+
+    def test_denied_floods_do_not_wedge(self):
+        from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
+
+        validator = FloodToleranceValidator(
+            DeviceKind.HARDENED, MeasurementSettings(duration=0.4)
+        )
+        result = validator.minimum_flood_rate(16, flood_allowed=False, probe_duration=0.4)
+        assert not result.lockup
+        if result.measurable:
+            assert result.rate_pps > 80_000  # link-scale, not card-scale
+
+    def test_vpg_still_costs_bandwidth(self):
+        # Crypto is compute, not lookup: the hardened card narrows but
+        # does not erase the VPG gap.
+        from repro.core.testbed import Testbed
+        from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
+
+        validator = FloodToleranceValidator(
+            DeviceKind.HARDENED, MeasurementSettings(duration=0.4)
+        )
+        # VPG measurements pair the device with an ADF client normally;
+        # build the hardened pair by hand.
+        bed = Testbed(device=DeviceKind.HARDENED, client_device=DeviceKind.HARDENED)
+        validator_adf_path = validator  # reuse ruleset builders
+        from repro.apps.iperf import IperfClient, IperfServer
+        from repro.core.methodology import VPG_MSS
+        from repro.firewall.builders import vpg_ruleset
+        from repro.firewall.rules import Action, PortRange, VpgRule
+        from repro.net.packet import IpProtocol
+
+        matching = VpgRule(
+            action=Action.ALLOW,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(5001),
+            vpg_id=500,
+        )
+        bed.install_target_policy(vpg_ruleset(1, matching, name="t"))
+        bed.install_client_policy(vpg_ruleset(1, matching, name="c"))
+        bed.client.tcp.default_mss = VPG_MSS
+        bed.target.tcp.default_mss = VPG_MSS
+        IperfServer(bed.target)
+        session = IperfClient(bed.client).start_tcp(bed.target.ip, duration=0.4)
+        bed.run(0.45)
+        vpg_mbps = session.result().mbps
+        plain = validator_adf_path.available_bandwidth(depth=1)
+        assert vpg_mbps < plain.mbps
+        assert vpg_mbps > 40  # much better than the ADF's ~38 ceiling
