@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick examples clean
+.PHONY: install test test-slow test-all bench bench-quick experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,8 +10,18 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+test-slow:
+	$(PYTHON) -m pytest tests/ -m slow
+
+test-all:
+	$(PYTHON) -m pytest tests/ -m "slow or not slow"
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Serial-vs-parallel wall-clock for the quick presets -> BENCH_parallel.json.
+bench-quick:
+	PYTHONPATH=src $(PYTHON) benchmarks/parallel_bench.py
 
 experiments:
 	$(PYTHON) -m repro.experiments all

@@ -13,8 +13,10 @@ from conftest import run_once
 from repro.experiments import ablations
 
 
-def test_ablation_response_traffic(benchmark, bench_settings):
-    result = run_once(benchmark, ablations.response_traffic, bench_settings)
+def test_ablation_response_traffic(benchmark, bench_settings, bench_jobs):
+    result = run_once(
+        benchmark, ablations.response_traffic, bench_settings, jobs=bench_jobs
+    )
     print()
     print(result.table())
     benchmark.extra_info["table"] = result.table()
@@ -29,9 +31,13 @@ def test_ablation_response_traffic(benchmark, bench_settings):
     assert without_responses > 0.7 * deny_reference
 
 
-def test_ablation_lazy_decrypt(benchmark, bench_settings):
+def test_ablation_lazy_decrypt(benchmark, bench_settings, bench_jobs):
     result = run_once(
-        benchmark, ablations.lazy_decrypt, bench_settings, vpg_counts=(1, 4, 8)
+        benchmark,
+        ablations.lazy_decrypt,
+        bench_settings,
+        vpg_counts=(1, 4, 8),
+        jobs=bench_jobs,
     )
     print()
     print(result.table())
@@ -42,9 +48,13 @@ def test_ablation_lazy_decrypt(benchmark, bench_settings):
     assert result.outcomes["eager, 8 VPG(s)"] < 0.75 * result.outcomes["eager, 1 VPG(s)"]
 
 
-def test_ablation_ring_size(benchmark, bench_settings):
+def test_ablation_ring_size(benchmark, bench_settings, bench_jobs):
     result = run_once(
-        benchmark, ablations.ring_size, bench_settings, ring_sizes=(16, 64, 256)
+        benchmark,
+        ablations.ring_size,
+        bench_settings,
+        ring_sizes=(16, 64, 256),
+        jobs=bench_jobs,
     )
     print()
     print(result.table())
@@ -56,8 +66,10 @@ def test_ablation_ring_size(benchmark, bench_settings):
         assert value < 60
 
 
-def test_ablation_stateful_firewall(benchmark, bench_settings):
-    result = run_once(benchmark, ablations.stateful_firewall, bench_settings)
+def test_ablation_stateful_firewall(benchmark, bench_settings, bench_jobs):
+    result = run_once(
+        benchmark, ablations.stateful_firewall, bench_settings, jobs=bench_jobs
+    )
     print()
     print(result.table())
     benchmark.extra_info["table"] = result.table()

@@ -16,12 +16,13 @@ from repro.sim import units
 DEPTHS = (1, 64)
 
 
-def test_extension_hardened_nic(benchmark, bench_settings):
+def test_extension_hardened_nic(benchmark, bench_settings, bench_jobs):
     result = run_once(
         benchmark,
         extension_hardened.run,
         depths=DEPTHS,
         settings=bench_settings,
+        jobs=bench_jobs,
     )
     print()
     print(result.table())

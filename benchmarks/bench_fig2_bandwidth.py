@@ -16,13 +16,14 @@ DEPTHS = (1, 8, 16, 32, 64)
 VPG_COUNTS = (1, 2, 4)
 
 
-def test_fig2_available_bandwidth(benchmark, bench_settings):
+def test_fig2_available_bandwidth(benchmark, bench_settings, bench_jobs):
     result = run_once(
         benchmark,
         fig2_bandwidth.run,
         depths=DEPTHS,
         vpg_counts=VPG_COUNTS,
         settings=bench_settings,
+        jobs=bench_jobs,
     )
     print()
     print(result.table())

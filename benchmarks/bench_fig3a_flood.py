@@ -15,13 +15,14 @@ from repro.experiments import fig3a_flood
 FLOOD_RATES = (0, 10000, 20000, 30000, 40000, 50000)
 
 
-def test_fig3a_bandwidth_under_flood(benchmark, bench_settings):
+def test_fig3a_bandwidth_under_flood(benchmark, bench_settings, bench_jobs):
     result = run_once(
         benchmark,
         fig3a_flood.run,
         flood_rates=FLOOD_RATES,
         settings=bench_settings,
         repetitions=2,
+        jobs=bench_jobs,
     )
     print()
     print(result.table())

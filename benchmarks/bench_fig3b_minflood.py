@@ -15,13 +15,14 @@ from repro.experiments import fig3b_minflood
 DEPTHS = (1, 16, 64)
 
 
-def test_fig3b_minimum_flood_rate(benchmark, bench_settings):
+def test_fig3b_minimum_flood_rate(benchmark, bench_settings, bench_jobs):
     result = run_once(
         benchmark,
         fig3b_minflood.run,
         depths=DEPTHS,
         settings=bench_settings,
         probe_duration=0.4,
+        jobs=bench_jobs,
     )
     print()
     print(result.table())

@@ -17,13 +17,14 @@ DEPTHS = (1, 16, 32, 64)
 VPG_COUNTS = (1, 2, 4)
 
 
-def test_table1_http_performance(benchmark, bench_settings):
+def test_table1_http_performance(benchmark, bench_settings, bench_jobs):
     result = run_once(
         benchmark,
         table1_http.run,
         depths=DEPTHS,
         vpg_counts=VPG_COUNTS,
         settings=bench_settings,
+        jobs=bench_jobs,
     )
     print()
     print(result.table())

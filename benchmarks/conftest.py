@@ -9,9 +9,26 @@ regeneration and prints the regenerated rows/series.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.methodology import MeasurementSettings
+from repro.core.parallel import JOBS_ENV_VAR, resolve_jobs
+
+
+@pytest.fixture
+def bench_jobs():
+    """Worker processes for experiment sweeps under benchmark.
+
+    Defaults to 1 (serial) so the timed quantity is the single-process
+    regeneration cost; set ``REPRO_JOBS=N`` to time the parallel path
+    instead.  Results are identical either way — the executor seeds each
+    sweep point deterministically.
+    """
+    if os.environ.get(JOBS_ENV_VAR):
+        return resolve_jobs()
+    return 1
 
 
 @pytest.fixture

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Wall-clock comparison of serial vs. parallel experiment regeneration.
+
+Runs each experiment's *quick* preset twice — once with ``jobs=1`` and
+once with ``jobs=N`` (``--jobs``, ``REPRO_JOBS``, or all cores) — and
+writes a machine-readable summary to ``BENCH_parallel.json``:
+
+    {
+      "jobs": 4,
+      "cpu_count": 4,
+      "experiments": {
+        "fig3a": {"serial_s": 12.1, "parallel_s": 3.4, "speedup": 3.56},
+        ...
+      },
+      "total": {"serial_s": ..., "parallel_s": ..., "speedup": ...}
+    }
+
+The parallel executor derives every sweep point's seed from (base seed,
+point index), so both runs produce identical tables; the script asserts
+that before trusting the timings.
+
+This file is deliberately named ``parallel_bench.py`` (not ``bench_*``)
+so the pytest benchmark suite does not collect it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/parallel_bench.py            # all quick presets
+    PYTHONPATH=src python benchmarks/parallel_bench.py fig3a -j 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from repro.core.parallel import resolve_jobs
+from repro.experiments import runner
+
+
+def _timed_run(experiment_id: str, jobs: int) -> Tuple[float, str]:
+    """Run one quick preset; return (wall-clock seconds, rendered output)."""
+    start = time.perf_counter()
+    result = runner.run_experiment_result(experiment_id, quick=True, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    return elapsed, runner.render_result(result)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to time (default: all quick presets)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for the parallel leg "
+        "(default: REPRO_JOBS or the machine's core count)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default="BENCH_parallel.json",
+        help="path for the JSON summary (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    jobs = resolve_jobs(args.jobs)
+    ids = args.experiments or runner.experiment_ids()
+    unknown = [i for i in ids if i not in runner.experiment_ids()]
+    if unknown:
+        parser.error(f"unknown experiment id(s): {', '.join(unknown)}")
+
+    experiments = {}
+    total_serial = 0.0
+    total_parallel = 0.0
+    for experiment_id in ids:
+        print(f"== {experiment_id}: jobs=1 ==", file=sys.stderr)
+        serial_s, serial_out = _timed_run(experiment_id, 1)
+        if jobs > 1:
+            print(f"== {experiment_id}: jobs={jobs} ==", file=sys.stderr)
+            parallel_s, parallel_out = _timed_run(experiment_id, jobs)
+            if parallel_out != serial_out:
+                print(
+                    f"ERROR: {experiment_id}: jobs=1 and jobs={jobs} outputs differ",
+                    file=sys.stderr,
+                )
+                return 1
+        else:
+            parallel_s = serial_s
+        total_serial += serial_s
+        total_parallel += parallel_s
+        experiments[experiment_id] = {
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
+        }
+        print(
+            f"   {experiment_id}: {serial_s:.1f}s serial, "
+            f"{parallel_s:.1f}s at jobs={jobs} "
+            f"({experiments[experiment_id]['speedup']}x)",
+            file=sys.stderr,
+        )
+
+    payload = {
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "preset": "quick",
+        "outputs_identical": True,
+        "experiments": experiments,
+        "total": {
+            "serial_s": round(total_serial, 3),
+            "parallel_s": round(total_parallel, 3),
+            "speedup": round(total_serial / total_parallel, 2) if total_parallel else 0.0,
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ Public API:
 * :mod:`~repro.core.metrics` — DoS criteria and statistics,
 * :mod:`~repro.core.sweeps` and :mod:`~repro.core.reports` — experiment
   plumbing,
+* :mod:`~repro.core.parallel` — process-pool execution of independent
+  sweep points (``--jobs``/``REPRO_JOBS``),
 * ``repro.core.calibration`` — re-export of the cost-model constants.
 """
 
@@ -24,6 +26,7 @@ from repro.core.methodology import (
     ValidationReport,
     VPG_MSS,
 )
+from repro.core.parallel import SweepExecutor, SweepPointSpec, derive_seed, resolve_jobs
 from repro.core.sweeps import Sweep, SweepPoint
 from repro.core.throughput import ThroughputResult, ThroughputTester, TrialResult
 from repro.core.testbed import STATIONS, DeviceKind, Testbed
@@ -38,7 +41,9 @@ __all__ = [
     "MinimumFloodResult",
     "STATIONS",
     "Sweep",
+    "SweepExecutor",
     "SweepPoint",
+    "SweepPointSpec",
     "Testbed",
     "ThroughputResult",
     "ThroughputTester",
@@ -46,6 +51,8 @@ __all__ = [
     "VPG_MSS",
     "ValidationReport",
     "calibration",
+    "derive_seed",
     "metrics",
     "reports",
+    "resolve_jobs",
 ]

@@ -5,6 +5,10 @@ flood-rate ...).  :class:`Sweep` runs a callable over a parameter grid,
 records results with their parameters, and supports progress reporting —
 the shared machinery behind every figure/table module in
 :mod:`repro.experiments`.
+
+Grids whose callable is picklable can be evaluated by a process pool
+(``jobs > 1``); point order, recorded parameters and results are
+identical to a serial run (see :mod:`repro.core.parallel`).
 """
 
 from __future__ import annotations
@@ -12,6 +16,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.parallel import SweepExecutor, SweepPointSpec
 
 
 @dataclass(frozen=True)
@@ -33,6 +39,11 @@ class SweepPoint:
 class Sweep:
     """Runs ``fn(**params)`` over the cross product of parameter values.
 
+    ``jobs`` selects the worker-process count for :meth:`run` (1 =
+    serial, the default; None = auto via :func:`repro.core.parallel.resolve_jobs`).
+    Parallel evaluation requires a picklable ``fn``; closures and lambdas
+    degrade to the serial loop with identical results.
+
     Examples
     --------
     >>> sweep = Sweep(lambda a, b: a * b)
@@ -44,17 +55,24 @@ class Sweep:
     fn: Callable[..., Any]
     progress: Optional[Callable[[str], None]] = None
     points: List[SweepPoint] = field(default_factory=list)
+    jobs: Optional[int] = 1
 
     def run(self, grid: Dict[str, Iterable[Any]]) -> List[SweepPoint]:
         """Evaluate over the grid's cross product (insertion order)."""
         names = list(grid)
         combos = list(itertools.product(*(list(grid[name]) for name in names)))
-        for index, combo in enumerate(combos, start=1):
-            params = tuple(zip(names, combo))
-            if self.progress is not None:
-                label = ", ".join(f"{key}={value}" for key, value in params)
-                self.progress(f"[{index}/{len(combos)}] {label}")
-            result = self.fn(**dict(params))
+        params_list = [tuple(zip(names, combo)) for combo in combos]
+        specs = [
+            SweepPointSpec(
+                label=", ".join(f"{key}={value}" for key, value in params),
+                fn=self.fn,
+                kwargs=dict(params),
+            )
+            for params in params_list
+        ]
+        executor = SweepExecutor(jobs=self.jobs, progress=self.progress)
+        results = executor.run(specs)
+        for params, result in zip(params_list, results):
             self.points.append(SweepPoint(params=params, result=result))
         return list(self.points)
 

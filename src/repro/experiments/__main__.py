@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--json DIR]``."""
+"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR]``."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ import os
 import sys
 import time
 
+from repro.core.parallel import JOBS_ENV_VAR, resolve_jobs
 from repro.experiments.figures import plot_result
 from repro.experiments.results import write_json
 from repro.experiments.runner import (
@@ -38,6 +39,18 @@ def main(argv=None) -> int:
         help="reduced grids and windows (minutes instead of tens of minutes)",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for sweep points (default: $"
+            + JOBS_ENV_VAR
+            + " or the CPU count; 1 = serial; results are identical for any value)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         default=None,
@@ -61,11 +74,17 @@ def main(argv=None) -> int:
     if args.json is not None:
         os.makedirs(args.json, exist_ok=True)
 
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
     progress = None if args.no_progress else lambda line: print(f"  .. {line}", file=sys.stderr)
     for experiment_id in selected:
         started = time.time()
-        print(f"== {experiment_id} ==", file=sys.stderr)
-        result = run_experiment_result(experiment_id, quick=args.quick, progress=progress)
+        print(f"== {experiment_id} (jobs={jobs}) ==", file=sys.stderr)
+        result = run_experiment_result(
+            experiment_id, quick=args.quick, progress=progress, jobs=jobs
+        )
         elapsed = time.time() - started
         print(render_result(result))
         if args.plot:

@@ -14,6 +14,10 @@ that the mechanism — not an artefact — produces the corresponding result:
 * **stateful-firewall** — connection tracking turns per-packet rule cost
   into per-connection cost on deep policies, but adds its own DoS
   surface: a spoofed flood can exhaust the flow table.
+
+Every ablation's measurement points are independent simulations, so each
+accepts a ``jobs`` worker-process count (see :mod:`repro.core.parallel`);
+results are identical for any value.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
+from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
 from repro.core.testbed import DeviceKind, Testbed
 from repro.apps.iperf import IperfClient, IperfServer
@@ -41,10 +46,28 @@ class AblationResult:
         return format_table(["condition", self.unit], rows, title=f"Ablation: {self.name}")
 
 
+def _minflood_rate_point(
+    settings: MeasurementSettings, depth: int, flood_allowed: bool
+) -> float:
+    """ADF minimum-DoS-rate search (pps; 0.0 when no rate was found)."""
+    validator = FloodToleranceValidator(DeviceKind.ADF, settings)
+    search = validator.minimum_flood_rate(
+        depth, flood_allowed=flood_allowed, probe_duration=0.6
+    )
+    return search.rate_pps or 0.0
+
+
+def _muted_minflood_point(settings: MeasurementSettings, depth: int) -> float:
+    """ADF minimum allowed-flood DoS rate with RST generation off."""
+    validator = FloodToleranceValidator(DeviceKind.ADF, settings)
+    return _min_flood_without_responses(validator, depth)
+
+
 def response_traffic(
     settings: Optional[MeasurementSettings] = None,
     depth: int = 32,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     """Allowed-flood minimum DoS rate, with and without host responses.
 
@@ -53,22 +76,27 @@ def response_traffic(
     comparison.
     """
     settings = settings if settings is not None else MeasurementSettings()
+    specs = [
+        SweepPointSpec(
+            label="ablation response-traffic: baseline (allow)",
+            fn=_minflood_rate_point,
+            kwargs={"settings": settings, "depth": depth, "flood_allowed": True},
+        ),
+        SweepPointSpec(
+            label="ablation response-traffic: deny reference",
+            fn=_minflood_rate_point,
+            kwargs={"settings": settings, "depth": depth, "flood_allowed": False},
+        ),
+        SweepPointSpec(
+            label="ablation response-traffic: responses OFF",
+            fn=_muted_minflood_point,
+            kwargs={"settings": settings, "depth": depth},
+        ),
+    ]
+    allow, deny, muted = SweepExecutor(jobs=jobs, progress=progress).run(specs)
     result = AblationResult(name="response-traffic (ADF)", unit="min DoS flood (pps)")
-    validator = FloodToleranceValidator(DeviceKind.ADF, settings)
-
-    if progress is not None:
-        progress("ablation response-traffic: baseline (allow)")
-    allow = validator.minimum_flood_rate(depth, flood_allowed=True, probe_duration=0.6)
-    result.outcomes["allowed flood, responses ON"] = allow.rate_pps or 0.0
-
-    if progress is not None:
-        progress("ablation response-traffic: deny reference")
-    deny = validator.minimum_flood_rate(depth, flood_allowed=False, probe_duration=0.6)
-    result.outcomes["denied flood (reference)"] = deny.rate_pps or 0.0
-
-    if progress is not None:
-        progress("ablation response-traffic: responses OFF")
-    muted = _min_flood_without_responses(validator, depth)
+    result.outcomes["allowed flood, responses ON"] = allow
+    result.outcomes["denied flood (reference)"] = deny
     result.outcomes["allowed flood, responses OFF"] = muted
     return result
 
@@ -111,31 +139,54 @@ def _min_flood_without_responses(validator: FloodToleranceValidator, depth: int)
     return high
 
 
+def _lazy_decrypt_point(
+    lazy: bool, vpg_count: int, settings: MeasurementSettings
+) -> float:
+    """ADF VPG bandwidth (Mbps) with decryption forced lazy or eager."""
+    validator = FloodToleranceValidator(DeviceKind.ADF, settings)
+    bed = validator._build_testbed(vpg_count=vpg_count)
+    bed.target.nic.lazy_decrypt = lazy
+    validator._install_vpg_policies(bed, vpg_count, port=settings.iperf_port)
+    server = IperfServer(bed.target, settings.iperf_port)
+    session = IperfClient(bed.client).start_tcp(
+        bed.target.ip, settings.iperf_port, duration=settings.duration
+    )
+    bed.run(settings.duration + 0.01)
+    server.close()
+    return session.result().mbps
+
+
 def lazy_decrypt(
     settings: Optional[MeasurementSettings] = None,
     vpg_counts: Tuple[int, ...] = (1, 4, 8),
     progress=None,
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     """ADF VPG bandwidth with lazy vs. eager decryption."""
     settings = settings if settings is not None else MeasurementSettings()
+    plans = [
+        (lazy, vpg_count) for lazy in (True, False) for vpg_count in vpg_counts
+    ]
+    specs = [
+        SweepPointSpec(
+            label=f"ablation lazy-decrypt: {'lazy' if lazy else 'eager'} vpgs={vpg_count}",
+            fn=_lazy_decrypt_point,
+            kwargs={"lazy": lazy, "vpg_count": vpg_count, "settings": settings},
+        )
+        for lazy, vpg_count in plans
+    ]
+    values = SweepExecutor(jobs=jobs, progress=progress).run(specs)
     result = AblationResult(name="lazy-decrypt", unit="bandwidth (Mbps)")
-    validator = FloodToleranceValidator(DeviceKind.ADF, settings)
-    for lazy in (True, False):
+    for (lazy, vpg_count), mbps in zip(plans, values):
         mode = "lazy" if lazy else "eager"
-        for vpg_count in vpg_counts:
-            if progress is not None:
-                progress(f"ablation lazy-decrypt: {mode} vpgs={vpg_count}")
-            bed = validator._build_testbed(vpg_count=vpg_count)
-            bed.target.nic.lazy_decrypt = lazy
-            validator._install_vpg_policies(bed, vpg_count, port=settings.iperf_port)
-            server = IperfServer(bed.target, settings.iperf_port)
-            session = IperfClient(bed.client).start_tcp(
-                bed.target.ip, settings.iperf_port, duration=settings.duration
-            )
-            bed.run(settings.duration + 0.01)
-            server.close()
-            result.outcomes[f"{mode}, {vpg_count} VPG(s)"] = session.result().mbps
+        result.outcomes[f"{mode}, {vpg_count} VPG(s)"] = mbps
     return result
+
+
+def _ring_size_point(size: int, flood_rate: float, settings: MeasurementSettings) -> float:
+    """EFW bandwidth (Mbps) under flood with one RX ring size."""
+    validator = FloodToleranceValidator(DeviceKind.EFW, settings, ring_size=size)
+    return validator.bandwidth_under_flood(flood_rate).mbps
 
 
 def ring_size(
@@ -143,84 +194,68 @@ def ring_size(
     ring_sizes: Tuple[int, ...] = (16, 64, 256),
     flood_rate: float = 35000.0,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     """Bandwidth under a near-saturating flood as the RX ring grows."""
     settings = settings if settings is not None else MeasurementSettings()
+    specs = [
+        SweepPointSpec(
+            label=f"ablation ring-size: ring={size}",
+            fn=_ring_size_point,
+            kwargs={"size": size, "flood_rate": flood_rate, "settings": settings},
+        )
+        for size in ring_sizes
+    ]
+    values = SweepExecutor(jobs=jobs, progress=progress).run(specs)
     result = AblationResult(
         name=f"ring-size (flood {flood_rate:,.0f} pps)", unit="bandwidth (Mbps)"
     )
-    for size in ring_sizes:
-        if progress is not None:
-            progress(f"ablation ring-size: ring={size}")
-        validator = FloodToleranceValidator(DeviceKind.EFW, settings, ring_size=size)
-        measurement = validator.bandwidth_under_flood(flood_rate)
-        result.outcomes[f"ring={size}"] = measurement.mbps
+    for size, mbps in zip(ring_sizes, values):
+        result.outcomes[f"ring={size}"] = mbps
     return result
 
 
-def stateful_firewall(
-    settings: Optional[MeasurementSettings] = None,
-    depth: int = 256,
-    progress=None,
-) -> AblationResult:
-    """Stateless vs. stateful iptables: CPU cost and state exhaustion.
-
-    At 100 Mbps both variants sustain full bandwidth (the host CPU is
-    never the bottleneck — the paper's point about software firewalls),
-    so the comparison is *filtering CPU time* on a deep policy, plus the
-    stateful variant's own failure mode: a spoofed-source flood filling
-    the conntrack table locks out NEW legitimate flows.
-    """
-    settings = settings if settings is not None else MeasurementSettings()
-    result = AblationResult(name="stateful-firewall (iptables)", unit="value")
-
-    from repro.apps.flood import FloodGenerator, FloodKind, FloodSpec
-    from repro.core.testbed import Testbed
+def _iptables_cpu_point(
+    stateful: bool, depth: int, settings: MeasurementSettings
+) -> Tuple[float, float]:
+    """(bandwidth Mbps, filtering CPU ms) for one iptables variant."""
     from repro.firewall.builders import padded_ruleset
     from repro.firewall.conntrack import StatefulIptablesFilter
     from repro.firewall.iptables import IptablesFilter
     from repro.firewall.rules import Action, PortRange, Rule
     from repro.net.packet import IpProtocol
 
-    def iperf_rule():
-        return Rule(
+    chain = padded_ruleset(
+        depth,
+        action_rule=Rule(
             action=Action.ALLOW,
             protocol=IpProtocol.TCP,
             dst_ports=PortRange.single(settings.iperf_port),
             symmetric=True,
-        )
-
-    def run_with_filter(filter_factory):
-        bed = Testbed(device=DeviceKind.STANDARD, seed=settings.seed)
-        filt = filter_factory(bed)
-        bed.target.install_iptables(filt)
-        server = IperfServer(bed.target, settings.iperf_port)
-        session = IperfClient(bed.client).start_tcp(
-            bed.target.ip, settings.iperf_port, duration=settings.duration
-        )
-        bed.run(settings.duration + 0.01)
-        server.close()
-        return filt, session.result().mbps
-
-    chain = padded_ruleset(depth, action_rule=iperf_rule())
-    if progress is not None:
-        progress("ablation stateful-firewall: stateless CPU")
-    stateless, stateless_mbps = run_with_filter(
-        lambda bed: IptablesFilter(bed.sim, input_chain=chain)
+        ),
     )
-    if progress is not None:
-        progress("ablation stateful-firewall: stateful CPU")
-    stateful, stateful_mbps = run_with_filter(
-        lambda bed: StatefulIptablesFilter(bed.sim, input_chain=chain)
+    bed = Testbed(device=DeviceKind.STANDARD, seed=settings.seed)
+    if stateful:
+        filt = StatefulIptablesFilter(bed.sim, input_chain=chain)
+    else:
+        filt = IptablesFilter(bed.sim, input_chain=chain)
+    bed.target.install_iptables(filt)
+    server = IperfServer(bed.target, settings.iperf_port)
+    session = IperfClient(bed.client).start_tcp(
+        bed.target.ip, settings.iperf_port, duration=settings.duration
     )
-    result.outcomes[f"stateless: bandwidth (Mbps), depth {depth}"] = stateless_mbps
-    result.outcomes[f"stateful:  bandwidth (Mbps), depth {depth}"] = stateful_mbps
-    result.outcomes["stateless: filtering CPU (ms)"] = stateless.utilisation_time * 1e3
-    result.outcomes["stateful:  filtering CPU (ms)"] = stateful.utilisation_time * 1e3
+    bed.run(settings.duration + 0.01)
+    server.close()
+    return session.result().mbps, filt.utilisation_time * 1e3
 
-    # State-exhaustion failure mode: spoofed UDP flood vs. a small table.
-    if progress is not None:
-        progress("ablation stateful-firewall: conntrack exhaustion")
+
+def _conntrack_exhaustion_point(settings: MeasurementSettings) -> Tuple[float, float]:
+    """(Mbps during spoofed flood, flows dropped) for a 256-entry table."""
+    from repro.apps.flood import FloodGenerator, FloodKind, FloodSpec
+    from repro.firewall.builders import padded_ruleset
+    from repro.firewall.conntrack import StatefulIptablesFilter
+    from repro.firewall.rules import Action, Rule
+
     bed = Testbed(device=DeviceKind.STANDARD, seed=settings.seed)
     open_chain = padded_ruleset(
         1, action_rule=Rule(action=Action.ALLOW, symmetric=True)
@@ -240,20 +275,66 @@ def stateful_firewall(
     bed.run(settings.duration + 0.01)
     flood.stop()
     server.close()
-    result.outcomes["stateful:  Mbps during spoofed flood (256-entry table)"] = (
-        session.result().mbps
+    return session.result().mbps, float(filt.dropped_conntrack_full)
+
+
+def stateful_firewall(
+    settings: Optional[MeasurementSettings] = None,
+    depth: int = 256,
+    progress=None,
+    jobs: Optional[int] = None,
+) -> AblationResult:
+    """Stateless vs. stateful iptables: CPU cost and state exhaustion.
+
+    At 100 Mbps both variants sustain full bandwidth (the host CPU is
+    never the bottleneck — the paper's point about software firewalls),
+    so the comparison is *filtering CPU time* on a deep policy, plus the
+    stateful variant's own failure mode: a spoofed-source flood filling
+    the conntrack table locks out NEW legitimate flows.
+    """
+    settings = settings if settings is not None else MeasurementSettings()
+    specs = [
+        SweepPointSpec(
+            label="ablation stateful-firewall: stateless CPU",
+            fn=_iptables_cpu_point,
+            kwargs={"stateful": False, "depth": depth, "settings": settings},
+        ),
+        SweepPointSpec(
+            label="ablation stateful-firewall: stateful CPU",
+            fn=_iptables_cpu_point,
+            kwargs={"stateful": True, "depth": depth, "settings": settings},
+        ),
+        SweepPointSpec(
+            label="ablation stateful-firewall: conntrack exhaustion",
+            fn=_conntrack_exhaustion_point,
+            kwargs={"settings": settings},
+        ),
+    ]
+    executor = SweepExecutor(jobs=jobs, progress=progress)
+    (stateless_mbps, stateless_cpu), (stateful_mbps, stateful_cpu), exhaustion = (
+        executor.run(specs)
     )
-    result.outcomes["stateful:  flows dropped, table full"] = float(
-        filt.dropped_conntrack_full
-    )
+    flood_mbps, dropped = exhaustion
+
+    result = AblationResult(name="stateful-firewall (iptables)", unit="value")
+    result.outcomes[f"stateless: bandwidth (Mbps), depth {depth}"] = stateless_mbps
+    result.outcomes[f"stateful:  bandwidth (Mbps), depth {depth}"] = stateful_mbps
+    result.outcomes["stateless: filtering CPU (ms)"] = stateless_cpu
+    result.outcomes["stateful:  filtering CPU (ms)"] = stateful_cpu
+    result.outcomes["stateful:  Mbps during spoofed flood (256-entry table)"] = flood_mbps
+    result.outcomes["stateful:  flows dropped, table full"] = dropped
     return result
 
 
-def run(settings: Optional[MeasurementSettings] = None, progress=None) -> List[AblationResult]:
+def run(
+    settings: Optional[MeasurementSettings] = None,
+    progress=None,
+    jobs: Optional[int] = None,
+) -> List[AblationResult]:
     """Run all four ablations."""
     return [
-        response_traffic(settings, progress=progress),
-        lazy_decrypt(settings, progress=progress),
-        ring_size(settings, progress=progress),
-        stateful_firewall(settings, progress=progress),
+        response_traffic(settings, progress=progress, jobs=jobs),
+        lazy_decrypt(settings, progress=progress, jobs=jobs),
+        ring_size(settings, progress=progress, jobs=jobs),
+        stateful_firewall(settings, progress=progress, jobs=jobs),
     ]

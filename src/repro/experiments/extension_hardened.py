@@ -27,6 +27,7 @@ from repro.core.methodology import (
     MeasurementSettings,
     MinimumFloodResult,
 )
+from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
 from repro.core.testbed import DeviceKind
 from repro.core.throughput import ThroughputTester
@@ -97,37 +98,53 @@ class HardenedResult:
         return "\n\n".join(blocks)
 
 
+def _hardened_point(
+    device: DeviceKind, depth: int, settings: MeasurementSettings
+) -> Tuple[float, MinimumFloodResult, float]:
+    """One sweep point: (bandwidth Mbps, min-flood search, 64B tput pps)."""
+    validator = FloodToleranceValidator(device, settings)
+    bandwidth = validator.available_bandwidth(depth=depth).mbps
+    flood = validator.minimum_flood_rate(depth, flood_allowed=True, probe_duration=0.4)
+    tester = ThroughputTester(
+        device, frame_bytes=units.ETHERNET_MIN_FRAME, rule_depth=depth
+    )
+    return bandwidth, flood, tester.search().rate_pps
+
+
 def run(
     depths: Tuple[int, ...] = DEFAULT_DEPTHS,
     settings: Optional[MeasurementSettings] = None,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> HardenedResult:
-    """Run the extension comparison (EFW vs. hardened NIC)."""
+    """Run the extension comparison (EFW vs. hardened NIC).
+
+    ``jobs`` selects the worker-process count (1 = serial; None = auto);
+    results are identical for any value.
+    """
     settings = settings if settings is not None else MeasurementSettings()
+    plans = [("EFW", DeviceKind.EFW), ("hardened", DeviceKind.HARDENED)]
+    specs = [
+        SweepPointSpec(
+            label=f"extension: {label} depth={depth}",
+            fn=_hardened_point,
+            kwargs={"device": device, "depth": depth, "settings": settings},
+        )
+        for label, device in plans
+        for depth in depths
+    ]
+    points = SweepExecutor(jobs=jobs, progress=progress).run(specs)
     result = HardenedResult()
-    for label, device in (("EFW", DeviceKind.EFW), ("hardened", DeviceKind.HARDENED)):
-        validator = FloodToleranceValidator(device, settings)
+    cursor = iter(points)
+    for label, _device in plans:
         bandwidth_points = []
         flood_points = []
         throughput_points = []
         for depth in depths:
-            if progress is not None:
-                progress(f"extension: {label} depth={depth}")
-            bandwidth_points.append(
-                (depth, validator.available_bandwidth(depth=depth).mbps)
-            )
-            flood_points.append(
-                (
-                    depth,
-                    validator.minimum_flood_rate(
-                        depth, flood_allowed=True, probe_duration=0.4
-                    ),
-                )
-            )
-            tester = ThroughputTester(
-                device, frame_bytes=units.ETHERNET_MIN_FRAME, rule_depth=depth
-            )
-            throughput_points.append((depth, tester.search().rate_pps))
+            bandwidth, flood, throughput = next(cursor)
+            bandwidth_points.append((depth, bandwidth))
+            flood_points.append((depth, flood))
+            throughput_points.append((depth, throughput))
         result.bandwidth[label] = bandwidth_points
         result.min_flood[label] = flood_points
         result.throughput_64b[label] = throughput_points

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
+from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
 from repro.core.testbed import DeviceKind
 
@@ -48,37 +49,57 @@ class Fig2Result:
         )
 
 
+def _depth_point(device: DeviceKind, depth: int, settings: MeasurementSettings) -> float:
+    """One sweep point: available bandwidth (Mbps) at a rule depth."""
+    return FloodToleranceValidator(device, settings).available_bandwidth(depth=depth).mbps
+
+
+def _vpg_point(vpg_count: int, settings: MeasurementSettings) -> float:
+    """One sweep point: ADF bandwidth (Mbps) with a VPG rule-set."""
+    validator = FloodToleranceValidator(DeviceKind.ADF, settings)
+    return validator.available_bandwidth(vpg_count=vpg_count).mbps
+
+
 def run(
     depths: Tuple[int, ...] = DEFAULT_DEPTHS,
     vpg_counts: Tuple[int, ...] = DEFAULT_VPG_COUNTS,
     settings: Optional[MeasurementSettings] = None,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> Fig2Result:
-    """Regenerate Figure 2."""
+    """Regenerate Figure 2.
+
+    ``jobs`` selects the worker-process count (1 = serial; None = auto);
+    results are identical for any value.
+    """
     settings = settings if settings is not None else MeasurementSettings()
+    plans = [
+        ("EFW", DeviceKind.EFW),
+        ("ADF", DeviceKind.ADF),
+        ("iptables", DeviceKind.IPTABLES),
+    ]
+    specs = [
+        SweepPointSpec(
+            label=f"fig2: {label} depth={depth}",
+            fn=_depth_point,
+            kwargs={"device": device, "depth": depth, "settings": settings},
+        )
+        for label, device in plans
+        for depth in depths
+    ]
+    specs.extend(
+        SweepPointSpec(
+            label=f"fig2: ADF(VPG) vpgs={vpg_count}",
+            fn=_vpg_point,
+            kwargs={"vpg_count": vpg_count, "settings": settings},
+        )
+        for vpg_count in vpg_counts
+    )
+    values = SweepExecutor(jobs=jobs, progress=progress).run(specs)
     result = Fig2Result()
-
-    for device, label in (
-        (DeviceKind.EFW, "EFW"),
-        (DeviceKind.ADF, "ADF"),
-        (DeviceKind.IPTABLES, "iptables"),
-    ):
-        validator = FloodToleranceValidator(device, settings)
-        points = []
-        for depth in depths:
-            if progress is not None:
-                progress(f"fig2: {label} depth={depth}")
-            measurement = validator.available_bandwidth(depth=depth)
-            points.append((depth, measurement.mbps))
-        result.series[label] = points
-
-    validator = FloodToleranceValidator(DeviceKind.ADF, settings)
-    points = []
-    for vpg_count in vpg_counts:
-        if progress is not None:
-            progress(f"fig2: ADF(VPG) vpgs={vpg_count}")
-        measurement = validator.available_bandwidth(vpg_count=vpg_count)
-        # Each VPG is a pair of rule entries: depth = 2 * count.
-        points.append((2 * vpg_count, measurement.mbps))
-    result.series["ADF (VPG)"] = points
+    cursor = iter(values)
+    for label, _device in plans:
+        result.series[label] = [(depth, next(cursor)) for depth in depths]
+    # Each VPG is a pair of rule entries: depth = 2 * count.
+    result.series["ADF (VPG)"] = [(2 * vpg_count, next(cursor)) for vpg_count in vpg_counts]
     return result

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
+from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
 from repro.core.testbed import DeviceKind
 
@@ -50,13 +51,30 @@ class Fig3aResult:
         )
 
 
+def _flood_point(
+    device: DeviceKind,
+    rate: float,
+    vpg_count: int,
+    settings: MeasurementSettings,
+) -> float:
+    """One sweep point: available bandwidth (Mbps) under a flood."""
+    validator = FloodToleranceValidator(device, settings)
+    return validator.bandwidth_under_flood(rate, vpg_count=vpg_count).mbps
+
+
 def run(
     flood_rates: Tuple[float, ...] = DEFAULT_FLOOD_RATES,
     settings: Optional[MeasurementSettings] = None,
     repetitions: int = DEFAULT_REPETITIONS,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> Fig3aResult:
-    """Regenerate Figure 3a."""
+    """Regenerate Figure 3a.
+
+    ``jobs`` selects the worker-process count (1 = serial; None = auto).
+    Every point is an isolated deterministic simulation, so the result is
+    identical for any ``jobs`` value.
+    """
     base = settings if settings is not None else MeasurementSettings()
     settings = MeasurementSettings(
         duration=base.duration,
@@ -68,7 +86,6 @@ def run(
         http_duration=base.http_duration,
         http_page_size=base.http_page_size,
     )
-    result = Fig3aResult()
     plans = [
         ("No Firewall", DeviceKind.STANDARD, 0),
         ("iptables", DeviceKind.IPTABLES, 0),
@@ -76,13 +93,23 @@ def run(
         ("ADF", DeviceKind.ADF, 0),
         ("ADF (VPG)", DeviceKind.ADF, 1),
     ]
-    for label, device, vpg_count in plans:
-        validator = FloodToleranceValidator(device, settings)
-        points = []
-        for rate in flood_rates:
-            if progress is not None:
-                progress(f"fig3a: {label} flood={rate:,.0f} pps")
-            measurement = validator.bandwidth_under_flood(rate, vpg_count=vpg_count)
-            points.append((rate, measurement.mbps))
-        result.series[label] = points
+    specs = [
+        SweepPointSpec(
+            label=f"fig3a: {label} flood={rate:,.0f} pps",
+            fn=_flood_point,
+            kwargs={
+                "device": device,
+                "rate": rate,
+                "vpg_count": vpg_count,
+                "settings": settings,
+            },
+        )
+        for label, device, vpg_count in plans
+        for rate in flood_rates
+    ]
+    values = SweepExecutor(jobs=jobs, progress=progress).run(specs)
+    result = Fig3aResult()
+    cursor = iter(values)
+    for label, _device, _vpg_count in plans:
+        result.series[label] = [(rate, next(cursor)) for rate in flood_rates]
     return result

@@ -19,6 +19,7 @@ from repro.core.methodology import (
     MeasurementSettings,
     MinimumFloodResult,
 )
+from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
 from repro.core.testbed import DeviceKind
 
@@ -60,19 +61,35 @@ def _cell(entry: Optional[MinimumFloodResult]) -> str:
     return f"{entry.rate_pps:,.0f}"
 
 
+def _minflood_point(
+    device: DeviceKind,
+    depth: int,
+    flood_allowed: bool,
+    probe_duration: float,
+    settings: MeasurementSettings,
+) -> MinimumFloodResult:
+    """One sweep point: the minimum-DoS-rate search at one depth."""
+    validator = FloodToleranceValidator(device, settings)
+    return validator.minimum_flood_rate(
+        depth, flood_allowed=flood_allowed, probe_duration=probe_duration
+    )
+
+
 def run(
     depths: Tuple[int, ...] = DEFAULT_DEPTHS,
     settings: Optional[MeasurementSettings] = None,
     probe_duration: float = 0.6,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> Fig3bResult:
     """Regenerate Figure 3b.
 
     ``probe_duration`` shortens each bandwidth probe inside the rate
     search; the DoS verdict is insensitive to the window length.
+    ``jobs`` selects the worker-process count (1 = serial; None = auto);
+    results are identical for any value.
     """
     settings = settings if settings is not None else MeasurementSettings()
-    result = Fig3bResult()
     plans = [
         ("EFW (Allow)", DeviceKind.EFW, True),
         ("ADF (Allow)", DeviceKind.ADF, True),
@@ -81,17 +98,24 @@ def run(
         # ~1000 denied packets/s.  We run it anyway and report the lockup.
         ("EFW (Deny)", DeviceKind.EFW, False),
     ]
-    for label, device, flood_allowed in plans:
-        validator = FloodToleranceValidator(device, settings)
-        points = []
-        for depth in depths:
-            if progress is not None:
-                progress(f"fig3b: {label} depth={depth}")
-            search = validator.minimum_flood_rate(
-                depth,
-                flood_allowed=flood_allowed,
-                probe_duration=probe_duration,
-            )
-            points.append((depth, search))
-        result.series[label] = points
+    specs = [
+        SweepPointSpec(
+            label=f"fig3b: {label} depth={depth}",
+            fn=_minflood_point,
+            kwargs={
+                "device": device,
+                "depth": depth,
+                "flood_allowed": flood_allowed,
+                "probe_duration": probe_duration,
+                "settings": settings,
+            },
+        )
+        for label, device, flood_allowed in plans
+        for depth in depths
+    ]
+    searches = SweepExecutor(jobs=jobs, progress=progress).run(specs)
+    result = Fig3bResult()
+    cursor = iter(searches)
+    for label, _device, _flood_allowed in plans:
+        result.series[label] = [(depth, next(cursor)) for depth in depths]
     return result

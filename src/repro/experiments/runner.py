@@ -25,19 +25,24 @@ from repro.experiments import (
 
 Progress = Optional[Callable[[str], None]]
 
+Jobs = Optional[int]
+
 
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One runnable experiment.
 
-    ``run_full``/``run_quick`` return the experiment's *result object*;
-    :func:`render_result` turns any of them into printable tables.
+    ``run_full``/``run_quick`` take ``(progress, jobs)`` and return the
+    experiment's *result object*; :func:`render_result` turns any of
+    them into printable tables.  ``jobs`` is the sweep worker-process
+    count (see :mod:`repro.core.parallel`); results are identical for
+    any value.
     """
 
     experiment_id: str
     title: str
-    run_full: Callable[[Progress], Any]
-    run_quick: Callable[[Progress], Any]
+    run_full: Callable[[Progress, Jobs], Any]
+    run_quick: Callable[[Progress, Jobs], Any]
 
 
 def render_result(result: Any) -> str:
@@ -49,81 +54,86 @@ def render_result(result: Any) -> str:
     return result.table()
 
 
-def _fig2_full(progress):
-    return fig2_bandwidth.run(progress=progress)
+def _fig2_full(progress, jobs=None):
+    return fig2_bandwidth.run(progress=progress, jobs=jobs)
 
 
-def _fig2_quick(progress):
+def _fig2_quick(progress, jobs=None):
     return fig2_bandwidth.run(
         depths=(1, 8, 16, 32, 64),
         vpg_counts=(1, 4),
         settings=MeasurementSettings(duration=0.5),
         progress=progress,
+        jobs=jobs,
     )
 
 
-def _fig3a_full(progress):
-    return fig3a_flood.run(progress=progress)
+def _fig3a_full(progress, jobs=None):
+    return fig3a_flood.run(progress=progress, jobs=jobs)
 
 
-def _fig3a_quick(progress):
+def _fig3a_quick(progress, jobs=None):
     return fig3a_flood.run(
         flood_rates=(0, 10000, 20000, 30000, 40000, 50000),
         settings=MeasurementSettings(duration=0.5),
         repetitions=1,
         progress=progress,
+        jobs=jobs,
     )
 
 
-def _fig3b_full(progress):
-    return fig3b_minflood.run(progress=progress)
+def _fig3b_full(progress, jobs=None):
+    return fig3b_minflood.run(progress=progress, jobs=jobs)
 
 
-def _fig3b_quick(progress):
+def _fig3b_quick(progress, jobs=None):
     return fig3b_minflood.run(
         depths=(1, 16, 64),
         settings=MeasurementSettings(duration=0.5),
         probe_duration=0.5,
         progress=progress,
+        jobs=jobs,
     )
 
 
-def _table1_full(progress):
-    return table1_http.run(progress=progress)
+def _table1_full(progress, jobs=None):
+    return table1_http.run(progress=progress, jobs=jobs)
 
 
-def _table1_quick(progress):
+def _table1_quick(progress, jobs=None):
     return table1_http.run(
         depths=(1, 32, 64),
         vpg_counts=(1, 4),
         settings=MeasurementSettings(http_duration=1.5),
         progress=progress,
+        jobs=jobs,
     )
 
 
-def _extension_full(progress):
-    return extension_hardened.run(progress=progress)
+def _extension_full(progress, jobs=None):
+    return extension_hardened.run(progress=progress, jobs=jobs)
 
 
-def _extension_quick(progress):
+def _extension_quick(progress, jobs=None):
     return extension_hardened.run(
         depths=(1, 64),
         settings=MeasurementSettings(duration=0.5),
         progress=progress,
+        jobs=jobs,
     )
 
 
-def _ablations_full(progress):
-    return ablations.run(progress=progress)
+def _ablations_full(progress, jobs=None):
+    return ablations.run(progress=progress, jobs=jobs)
 
 
-def _ablations_quick(progress):
+def _ablations_quick(progress, jobs=None):
     settings = MeasurementSettings(duration=0.5)
     return [
-        ablations.response_traffic(settings, progress=progress),
-        ablations.lazy_decrypt(settings, vpg_counts=(1, 8), progress=progress),
-        ablations.ring_size(settings, ring_sizes=(16, 256), progress=progress),
-        ablations.stateful_firewall(settings, depth=128, progress=progress),
+        ablations.response_traffic(settings, progress=progress, jobs=jobs),
+        ablations.lazy_decrypt(settings, vpg_counts=(1, 8), progress=progress, jobs=jobs),
+        ablations.ring_size(settings, ring_sizes=(16, 256), progress=progress, jobs=jobs),
+        ablations.stateful_firewall(settings, depth=128, progress=progress, jobs=jobs),
     ]
 
 
@@ -179,21 +189,29 @@ def run_experiment_result(
     experiment_id: str,
     quick: bool = False,
     progress: Progress = None,
+    jobs: Jobs = None,
 ) -> Any:
-    """Run one experiment and return its raw result object."""
+    """Run one experiment and return its raw result object.
+
+    ``jobs`` is the sweep worker-process count: 1 = serial, None = auto
+    (``REPRO_JOBS`` or the CPU count).  Any value yields the same result.
+    """
     spec = REGISTRY.get(experiment_id)
     if spec is None:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; choose from {', '.join(REGISTRY)}"
         )
     runner = spec.run_quick if quick else spec.run_full
-    return runner(progress)
+    return runner(progress, jobs)
 
 
 def run_experiment(
     experiment_id: str,
     quick: bool = False,
     progress: Progress = None,
+    jobs: Jobs = None,
 ) -> str:
     """Run one experiment and return its formatted text output."""
-    return render_result(run_experiment_result(experiment_id, quick=quick, progress=progress))
+    return render_result(
+        run_experiment_result(experiment_id, quick=quick, progress=progress, jobs=jobs)
+    )

@@ -20,6 +20,7 @@ from repro.core.methodology import (
     HttpMeasurement,
     MeasurementSettings,
 )
+from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
 from repro.core.testbed import DeviceKind
 
@@ -63,28 +64,55 @@ class Table1Result:
         )
 
 
+def _http_point(
+    device: DeviceKind,
+    depth: int,
+    vpg_count: int,
+    settings: MeasurementSettings,
+) -> HttpMeasurement:
+    """One sweep point: HTTP load measurement behind one configuration."""
+    validator = FloodToleranceValidator(device, settings)
+    return validator.http_performance(depth=depth, vpg_count=vpg_count)
+
+
 def run(
     depths: Tuple[int, ...] = DEFAULT_DEPTHS,
     vpg_counts: Tuple[int, ...] = DEFAULT_VPG_COUNTS,
     settings: Optional[MeasurementSettings] = None,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> Table1Result:
-    """Regenerate Table 1."""
+    """Regenerate Table 1.
+
+    ``jobs`` selects the worker-process count (1 = serial; None = auto);
+    results are identical for any value.
+    """
     settings = settings if settings is not None else MeasurementSettings()
+
+    def spec(label, device, depth=1, vpg_count=0):
+        return SweepPointSpec(
+            label=label,
+            fn=_http_point,
+            kwargs={
+                "device": device,
+                "depth": depth,
+                "vpg_count": vpg_count,
+                "settings": settings,
+            },
+        )
+
+    specs = [spec("table1: standard NIC baseline", DeviceKind.STANDARD)]
+    specs.extend(
+        spec(f"table1: ADF standard rules depth={depth}", DeviceKind.ADF, depth=depth)
+        for depth in depths
+    )
+    specs.extend(
+        spec(f"table1: ADF VPG count={vpg_count}", DeviceKind.ADF, vpg_count=vpg_count)
+        for vpg_count in vpg_counts
+    )
+    measurements = SweepExecutor(jobs=jobs, progress=progress).run(specs)
     result = Table1Result()
-
-    if progress is not None:
-        progress("table1: standard NIC baseline")
-    baseline = FloodToleranceValidator(DeviceKind.STANDARD, settings)
-    result.standard_nic = baseline.http_performance(depth=1)
-
-    adf = FloodToleranceValidator(DeviceKind.ADF, settings)
-    for depth in depths:
-        if progress is not None:
-            progress(f"table1: ADF standard rules depth={depth}")
-        result.adf_standard.append(adf.http_performance(depth=depth))
-    for vpg_count in vpg_counts:
-        if progress is not None:
-            progress(f"table1: ADF VPG count={vpg_count}")
-        result.adf_vpg.append(adf.http_performance(vpg_count=vpg_count))
+    result.standard_nic = measurements[0]
+    result.adf_standard = measurements[1 : 1 + len(depths)]
+    result.adf_vpg = measurements[1 + len(depths) :]
     return result

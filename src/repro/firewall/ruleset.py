@@ -61,6 +61,12 @@ class RuleSet:
         # optimisation, not a model feature: the real cards walk the table
         # for every packet, and the *cost* charged still reflects that
         # walk (rules_traversed is part of the cached result).
+        #
+        # The cache is a bounded LRU: dict insertion order doubles as the
+        # recency order (hits are re-inserted, the front entry is the
+        # coldest), so a randomized-source flood that fills the cache
+        # evicts its own one-shot flows instead of locking out the
+        # long-lived legitimate ones.
         self._flow_cache: dict = {}
 
     # ------------------------------------------------------------------
@@ -118,13 +124,24 @@ class RuleSet:
     def evaluate(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
         """First-match evaluation of a plaintext packet."""
         cache_key = (packet.flow(), direction)
-        cached = self._flow_cache.get(cache_key)
+        cache = self._flow_cache
+        cached = cache.pop(cache_key, None)
         if cached is not None:
+            cache[cache_key] = cached  # re-insert at the MRU end
             return cached
         result = self._evaluate_uncached(packet, direction)
-        if len(self._flow_cache) < self.FLOW_CACHE_LIMIT:
-            self._flow_cache[cache_key] = result
+        self._cache_store(cache_key, result)
         return result
+
+    def _cache_store(self, cache_key, result: MatchResult) -> None:
+        """Insert into the flow cache, evicting the LRU entry when full."""
+        limit = self.FLOW_CACHE_LIMIT
+        if limit <= 0:
+            return
+        cache = self._flow_cache
+        if len(cache) >= limit:
+            del cache[next(iter(cache))]
+        cache[cache_key] = result
 
     def _evaluate_uncached(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
         traversed = 0
@@ -152,8 +169,10 @@ class RuleSet:
         the matching VPG rule.
         """
         cache_key = ("spi", spi)
-        cached = self._flow_cache.get(cache_key)
+        cache = self._flow_cache
+        cached = cache.pop(cache_key, None)
         if cached is not None:
+            cache[cache_key] = cached  # re-insert at the MRU end
             return cached
         traversed = 0
         for rule in self._rules:
@@ -165,14 +184,14 @@ class RuleSet:
                     rule=rule,
                     is_vpg=True,
                 )
-                self._flow_cache[cache_key] = result
+                self._cache_store(cache_key, result)
                 return result
         result = MatchResult(
             action=self.default_action,
             rules_traversed=max(traversed, 1),
             rule=None,
         )
-        self._flow_cache[cache_key] = result
+        self._cache_store(cache_key, result)
         return result
 
     def find_vpg_for_packet(self, packet: Ipv4Packet) -> Optional[MatchResult]:

@@ -8,6 +8,12 @@ makes every run fully deterministic.
 The kernel is intentionally free of any networking knowledge: links, NICs
 and protocol stacks are ordinary objects that hold a reference to the
 simulator and schedule their own callbacks.
+
+Cancellation is lazy: a cancelled event stays in the heap as a tombstone
+until it surfaces, but the kernel keeps live counters of pending and
+cancelled events so :meth:`Simulator.pending_count` is O(1), and compacts
+the heap when tombstones dominate so long-running floods that cancel
+many timers do not grow the heap without bound.
 """
 
 from __future__ import annotations
@@ -30,26 +36,44 @@ class Event:
     ever calls :meth:`cancel` or inspects :attr:`time`.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_kernel")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        kernel: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Owning simulator while the event is in its heap; cleared when
+        #: the event executes or is cancelled, so the live counters are
+        #: adjusted exactly once per event.
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent.
 
         The event stays in the heap (lazy deletion) but is skipped when it
-        surfaces.
+        surfaces; the owning kernel's pending/tombstone counters are
+        updated immediately.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references eagerly so cancelled events do not pin packet
         # buffers or closures in memory until they surface in the heap.
         self.callback = _noop
         self.args = ()
+        kernel = self._kernel
+        self._kernel = None
+        if kernel is not None:
+            kernel._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -66,6 +90,11 @@ class Event:
 
 def _noop(*_args: Any) -> None:
     """Placeholder callback for cancelled events."""
+
+
+#: Compact the heap once it holds this many tombstones *and* they are the
+#: majority (see :meth:`Simulator._note_cancelled`).
+_COMPACT_MIN_TOMBSTONES = 512
 
 
 class Simulator:
@@ -87,11 +116,26 @@ class Simulator:
     ['b', 'a']
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_running",
+        "_pending",
+        "_tombstones",
+        "events_executed",
+        "tracer",
+    )
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._running = False
+        #: Live count of scheduled, not-yet-cancelled, not-yet-run events.
+        self._pending = 0
+        #: Cancelled events still sitting in the heap (lazy deletion).
+        self._tombstones = 0
         self.events_executed = 0
         #: Structured trace sink shared by every component built on this
         #: kernel.  Off by default; flip ``tracer.enabled`` to record.
@@ -122,8 +166,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        event = Event(float(time), next(self._seq), callback, args)
+        event = Event(float(time), next(self._seq), callback, args, kernel=self)
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return event
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
@@ -142,7 +187,10 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
+            self._pending -= 1
+            event._kernel = None
             self._now = event.time
             self.events_executed += 1
             event.callback(*event.args)
@@ -153,37 +201,78 @@ class Simulator:
         """Run events until the heap drains, ``until`` is reached, or
         ``max_events`` have executed.
 
-        When ``until`` is given the clock is advanced to exactly ``until``
-        even if the last event fired earlier, so measurement windows close
-        at well-defined instants.
+        Clock contract: when ``until`` is given, the clock is advanced to
+        exactly ``until`` before returning — even if the last event fired
+        earlier or no event fired at all — so measurement windows close at
+        well-defined instants.  The one exception is a ``max_events``
+        truncation that leaves unexecuted events at or before ``until``:
+        advancing past them would let a resumed run move the clock
+        backwards, so the clock then stays at the last executed event.
+        ``now`` never exceeds ``until`` and never moves backwards.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        # Localize the hot loop's lookups: attribute fetches on self and
+        # the heapq module cost ~20 % of a pure event-dispatch workload.
+        heap = self._heap
+        heappop = heapq.heappop
         executed = 0
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
+                    self._tombstones -= 1
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
+                self._pending -= 1
+                event._kernel = None
                 self._now = event.time
                 self.events_executed += 1
                 event.callback(*event.args)
                 executed += 1
                 if max_events is not None and executed >= max_events:
-                    return
+                    break
             if until is not None and until > self._now:
-                self._now = float(until)
+                next_time = self._next_pending_time()
+                if next_time is None or next_time > until:
+                    self._now = float(until)
         finally:
             self._running = False
 
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events in the heap."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events in the heap.  O(1)."""
+        return self._pending
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _next_pending_time(self) -> Optional[float]:
+        """Time of the earliest live event, purging surfaced tombstones."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._tombstones -= 1
+        return heap[0].time if heap else None
+
+    def _note_cancelled(self) -> None:
+        """Account for one cancellation; compact when tombstones dominate.
+
+        Compaction filters the heap *in place* (slice assignment) so a
+        ``run()`` loop holding a local reference to the list keeps seeing
+        the live heap.
+        """
+        self._pending -= 1
+        self._tombstones += 1
+        heap = self._heap
+        if self._tombstones >= _COMPACT_MIN_TOMBSTONES and self._tombstones * 2 > len(heap):
+            heap[:] = [event for event in heap if not event.cancelled]
+            heapq.heapify(heap)
+            self._tombstones = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"
+        return f"<Simulator t={self._now:.6f} pending={self._pending}>"

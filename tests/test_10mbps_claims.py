@@ -10,6 +10,10 @@ under eight rules" (the Oracle policy needs 31+).
 
 import pytest
 
+#: Full end-to-end regenerations; excluded from the default fast tier
+#: (see [tool.pytest.ini_options] in pyproject.toml).
+pytestmark = pytest.mark.slow
+
 from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
 from repro.core.testbed import DeviceKind, Testbed
 from repro.firewall.builders import allow_all

@@ -2,6 +2,10 @@
 
 import pytest
 
+#: Full end-to-end regenerations; excluded from the default fast tier
+#: (see [tool.pytest.ini_options] in pyproject.toml).
+pytestmark = pytest.mark.slow
+
 from repro.experiments import __main__ as cli
 from repro.experiments import runner
 
@@ -19,10 +23,10 @@ class TestCli:
 
     def test_single_experiment_via_stubbed_registry(self, monkeypatch, capsys):
         spec = runner.ExperimentSpec(
-            "stub", "a stub", lambda progress: "FULL-OUTPUT", lambda progress: "QUICK-OUTPUT"
+            "stub", "a stub", lambda progress, jobs=None: "FULL-OUTPUT", lambda progress, jobs=None: "QUICK-OUTPUT"
         )
         monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
-        monkeypatch.setattr(cli, "run_experiment", runner.run_experiment)
+        monkeypatch.setattr(cli, "run_experiment_result", runner.run_experiment_result)
         monkeypatch.setattr(cli, "experiment_ids", runner.experiment_ids)
         assert cli.main(["stub", "--no-progress"]) == 0
         out = capsys.readouterr().out
@@ -30,10 +34,10 @@ class TestCli:
 
     def test_quick_flag_selects_quick_runner(self, monkeypatch, capsys):
         spec = runner.ExperimentSpec(
-            "stub", "a stub", lambda progress: "FULL-OUTPUT", lambda progress: "QUICK-OUTPUT"
+            "stub", "a stub", lambda progress, jobs=None: "FULL-OUTPUT", lambda progress, jobs=None: "QUICK-OUTPUT"
         )
         monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
-        monkeypatch.setattr(cli, "run_experiment", runner.run_experiment)
+        monkeypatch.setattr(cli, "run_experiment_result", runner.run_experiment_result)
         monkeypatch.setattr(cli, "experiment_ids", runner.experiment_ids)
         assert cli.main(["stub", "--quick", "--no-progress"]) == 0
         assert "QUICK-OUTPUT" in capsys.readouterr().out
@@ -41,21 +45,21 @@ class TestCli:
     def test_all_expands_to_every_experiment(self, monkeypatch, capsys):
         calls = []
 
-        def fake_run(experiment_id, quick=False, progress=None):
+        def fake_run(experiment_id, quick=False, progress=None, jobs=None):
             calls.append(experiment_id)
             return f"ran {experiment_id}"
 
-        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        monkeypatch.setattr(cli, "run_experiment_result", fake_run)
         assert cli.main(["all", "--no-progress"]) == 0
         assert calls == runner.experiment_ids()
 
     def test_progress_goes_to_stderr(self, monkeypatch, capsys):
-        def fake_run(experiment_id, quick=False, progress=None):
+        def fake_run(experiment_id, quick=False, progress=None, jobs=None):
             if progress is not None:
                 progress("step one")
             return "output"
 
-        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        monkeypatch.setattr(cli, "run_experiment_result", fake_run)
         monkeypatch.setattr(cli, "experiment_ids", lambda: ["stub"])
         cli.main(["stub"])
         captured = capsys.readouterr()
@@ -79,7 +83,7 @@ class TestCli:
                 return "STUB-TABLE"
 
         spec = runner.ExperimentSpec(
-            "stub", "a stub", lambda progress: StubResult(), lambda progress: StubResult()
+            "stub", "a stub", lambda progress, jobs=None: StubResult(), lambda progress, jobs=None: StubResult()
         )
         monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
         monkeypatch.setattr(cli, "run_experiment_result", runner.run_experiment_result)
@@ -98,3 +102,28 @@ class TestCli:
 
         assert runner.render_result("plain") == "plain"
         assert runner.render_result([WithTable(), WithTable()]) == "T\n\nT"
+
+    def test_jobs_flag_reaches_runner(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake_run(experiment_id, quick=False, progress=None, jobs=None):
+            seen["jobs"] = jobs
+            return "output"
+
+        monkeypatch.setattr(cli, "run_experiment_result", fake_run)
+        monkeypatch.setattr(cli, "experiment_ids", lambda: ["stub"])
+        assert cli.main(["stub", "--no-progress", "--jobs", "3"]) == 0
+        assert seen["jobs"] == 3
+
+    def test_jobs_defaults_from_env_var(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake_run(experiment_id, quick=False, progress=None, jobs=None):
+            seen["jobs"] = jobs
+            return "output"
+
+        monkeypatch.setattr(cli, "run_experiment_result", fake_run)
+        monkeypatch.setattr(cli, "experiment_ids", lambda: ["stub"])
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert cli.main(["stub", "--no-progress"]) == 0
+        assert seen["jobs"] == 5

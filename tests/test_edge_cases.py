@@ -181,6 +181,84 @@ class TestRulesetEdges:
         assert first == second  # but equal verdicts
 
 
+class TestFlowCacheLru:
+    """Regression: the flow cache used to stop admitting entries once full.
+
+    A randomized-source flood would fill it, after which *every* flow —
+    including long-lived legitimate ones — paid the uncached rule walk
+    forever.  The cache is now a bounded LRU: one-shot flood flows evict
+    each other while hot flows stay resident.
+    """
+
+    @staticmethod
+    def _packet(src_port):
+        from repro.net.packet import TcpSegment
+
+        return Ipv4Packet(
+            src=Ipv4Address("1.1.1.1"),
+            dst=Ipv4Address("2.2.2.2"),
+            payload=TcpSegment(src_port=src_port, dst_port=80),
+        )
+
+    def test_fresh_flows_still_cached_after_saturation(self):
+        from repro.firewall.builders import allow_all
+        from repro.firewall.rules import Direction
+
+        ruleset = allow_all()
+        ruleset.FLOW_CACHE_LIMIT = 16
+        # Saturate: 3x the cache bound of one-shot flows.
+        for port in range(1000, 1048):
+            ruleset.evaluate(self._packet(port), Direction.INBOUND)
+        assert len(ruleset._flow_cache) == 16
+        # A brand-new flow must still be admitted (identity proves a hit).
+        fresh = self._packet(5000)
+        first = ruleset.evaluate(fresh, Direction.INBOUND)
+        second = ruleset.evaluate(fresh, Direction.INBOUND)
+        assert first is second
+
+    def test_hot_flow_survives_a_flood(self):
+        from repro.firewall.builders import allow_all
+        from repro.firewall.rules import Direction
+
+        ruleset = allow_all()
+        ruleset.FLOW_CACHE_LIMIT = 16
+        hot = self._packet(22)
+        hot_result = ruleset.evaluate(hot, Direction.INBOUND)
+        # Interleave flood flows with re-use of the hot flow: the hit
+        # refreshes its recency, so the flood evicts only its own flows.
+        for port in range(2000, 2100):
+            ruleset.evaluate(self._packet(port), Direction.INBOUND)
+            assert ruleset.evaluate(hot, Direction.INBOUND) is hot_result
+
+    def test_cold_entries_are_the_ones_evicted(self):
+        from repro.firewall.builders import allow_all
+        from repro.firewall.rules import Direction
+
+        ruleset = allow_all()
+        ruleset.FLOW_CACHE_LIMIT = 4
+        results = {
+            port: ruleset.evaluate(self._packet(port), Direction.INBOUND)
+            for port in (1, 2, 3, 4)
+        }
+        # Touch 1 and 2, then add two new flows: 3 and 4 get evicted.
+        assert ruleset.evaluate(self._packet(1), Direction.INBOUND) is results[1]
+        assert ruleset.evaluate(self._packet(2), Direction.INBOUND) is results[2]
+        ruleset.evaluate(self._packet(5), Direction.INBOUND)
+        ruleset.evaluate(self._packet(6), Direction.INBOUND)
+        assert ruleset.evaluate(self._packet(1), Direction.INBOUND) is results[1]
+        assert ruleset.evaluate(self._packet(2), Direction.INBOUND) is results[2]
+        assert ruleset.evaluate(self._packet(3), Direction.INBOUND) is not results[3]
+
+    def test_encrypted_lookups_share_the_bound(self):
+        from repro.firewall.builders import allow_all
+
+        ruleset = allow_all()
+        ruleset.FLOW_CACHE_LIMIT = 8
+        for spi in range(100):
+            ruleset.evaluate_encrypted(spi)
+        assert len(ruleset._flow_cache) <= 8
+
+
 class TestPcapEdges:
     def test_truncated_record_rejected(self):
         import io

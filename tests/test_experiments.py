@@ -2,6 +2,10 @@
 
 import pytest
 
+#: Full end-to-end regenerations; excluded from the default fast tier
+#: (see [tool.pytest.ini_options] in pyproject.toml).
+pytestmark = pytest.mark.slow
+
 from repro.core.methodology import MeasurementSettings
 from repro.experiments import experiment_ids, run_experiment
 from repro.experiments import ablations, fig2_bandwidth, fig3a_flood, fig3b_minflood, table1_http

@@ -2,6 +2,10 @@
 
 import pytest
 
+#: Full end-to-end regenerations; excluded from the default fast tier
+#: (see [tool.pytest.ini_options] in pyproject.toml).
+pytestmark = pytest.mark.slow
+
 from repro.apps.flood import FloodGenerator, FloodKind, FloodSpec
 from repro.apps.http_load import HttpLoadClient
 from repro.apps.httpd import HttpServer

@@ -139,3 +139,99 @@ class TestRun:
     def test_start_time_constructor(self):
         sim = Simulator(start_time=100.0)
         assert sim.now == 100.0
+
+
+class TestRunClockContract:
+    """``run(until=..., max_events=...)`` clock semantics.
+
+    Regression: the kernel used to return with a stale clock when
+    ``max_events`` stopped the loop, even though no remaining event lay
+    at or before ``until`` — measurement windows then closed at the last
+    event's time instead of the requested boundary.
+    """
+
+    def test_truncation_with_no_remaining_work_advances_to_until(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(1.0, fired.append, "b")
+        sim.schedule(9.0, fired.append, "far")
+        sim.run(until=3.0, max_events=2)
+        assert fired == ["a", "b"]
+        # Only remaining work is beyond the window: clock closes at until.
+        assert sim.now == 3.0
+
+    def test_truncation_with_remaining_work_keeps_clock(self, sim):
+        fired = []
+        for tag in range(3):
+            sim.schedule(1.0, fired.append, tag)
+        sim.schedule(2.0, fired.append, "later")
+        sim.run(until=3.0, max_events=2)
+        assert fired == [0, 1]
+        # An unexecuted event remains at t=1.0 <= until: advancing to 3.0
+        # would let the resumed run move the clock backwards.
+        assert sim.now == 1.0
+
+    def test_resumed_run_finishes_the_window(self, sim):
+        fired = []
+        for tag in range(4):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run(until=3.0, max_events=2)
+        sim.run(until=3.0)
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_truncation_skips_cancelled_stragglers(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        doomed = sim.schedule(2.0, fired.append, "never")
+        doomed.cancel()
+        sim.run(until=3.0, max_events=1)
+        assert fired == ["a"]
+        # The only event before until is a tombstone: advance to until.
+        assert sim.now == 3.0
+
+
+class TestPendingAccounting:
+    """pending_count() is a live counter, robust to lazy tombstones."""
+
+    def test_counter_tracks_schedule_execute_cancel(self, sim):
+        events = [sim.schedule(float(tag + 1), lambda: None) for tag in range(10)]
+        assert sim.pending_count() == 10
+        events[9].cancel()
+        assert sim.pending_count() == 9
+        sim.run(until=5.0)  # executes t=1..5
+        assert sim.pending_count() == 4
+
+    def test_cancel_after_execution_does_not_corrupt_counter(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending_count() == 0
+        event.cancel()  # late cancel of an already-executed event
+        assert sim.pending_count() == 0
+
+    def test_mass_cancellation_compacts_the_heap(self, sim):
+        survivor = sim.schedule(10.0, lambda: None)
+        doomed = [sim.schedule(1.0, lambda: None) for _ in range(2000)]
+        for event in doomed:
+            event.cancel()
+        assert sim.pending_count() == 1
+        # Tombstones were purged rather than left to linger until t=1.0.
+        assert len(sim._heap) < 600
+        sim.run()
+        assert sim.now == 10.0
+        assert survivor.pending  # cancel() never ran on it
+
+    def test_compaction_during_run_is_safe(self, sim):
+        fired = []
+        doomed = [sim.schedule(5.0, lambda: None) for _ in range(1500)]
+
+        def cancel_all():
+            for event in doomed:
+                event.cancel()
+
+        sim.schedule(1.0, cancel_all)
+        sim.schedule(8.0, fired.append, "end")
+        sim.run()
+        assert fired == ["end"]
+        assert sim.now == 8.0
+        assert sim.pending_count() == 0

@@ -2,6 +2,10 @@
 
 import pytest
 
+#: Full end-to-end regenerations; excluded from the default fast tier
+#: (see [tool.pytest.ini_options] in pyproject.toml).
+pytestmark = pytest.mark.slow
+
 from repro import calibration
 from repro.core.testbed import DeviceKind
 from repro.core.throughput import ThroughputTester, TrialResult
