@@ -1,11 +1,12 @@
 # Convenience targets for the reproduction repository.
 
 PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test test-slow test-all bench bench-quick experiments experiments-quick examples clean
 
 install:
-	$(PYTHON) setup.py develop
+	$(PYTHON) -m pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -19,9 +20,10 @@ test-all:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Serial-vs-parallel wall-clock for the quick presets -> BENCH_parallel.json.
+# Serial-vs-parallel wall-clock + metrics overhead for the quick presets
+# -> BENCH_parallel.json.
 bench-quick:
-	PYTHONPATH=src $(PYTHON) benchmarks/parallel_bench.py
+	$(PYTHON) benchmarks/parallel_bench.py
 
 experiments:
 	$(PYTHON) -m repro.experiments all

@@ -11,6 +11,7 @@ from __future__ import annotations
 from conftest import run_once
 
 from repro.experiments import extension_hardened
+from repro.experiments.presets import Preset
 from repro.sim import units
 
 DEPTHS = (1, 64)
@@ -20,8 +21,7 @@ def test_extension_hardened_nic(benchmark, bench_settings, bench_jobs):
     result = run_once(
         benchmark,
         extension_hardened.run,
-        depths=DEPTHS,
-        settings=bench_settings,
+        preset=Preset(name="bench", settings=bench_settings, depths=DEPTHS),
         jobs=bench_jobs,
     )
     print()

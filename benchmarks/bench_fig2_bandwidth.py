@@ -11,6 +11,7 @@ from __future__ import annotations
 from conftest import run_once
 
 from repro.experiments import fig2_bandwidth
+from repro.experiments.presets import Preset
 
 DEPTHS = (1, 8, 16, 32, 64)
 VPG_COUNTS = (1, 2, 4)
@@ -20,9 +21,7 @@ def test_fig2_available_bandwidth(benchmark, bench_settings, bench_jobs):
     result = run_once(
         benchmark,
         fig2_bandwidth.run,
-        depths=DEPTHS,
-        vpg_counts=VPG_COUNTS,
-        settings=bench_settings,
+        preset=Preset(name="bench", settings=bench_settings, depths=DEPTHS, vpg_counts=VPG_COUNTS),
         jobs=bench_jobs,
     )
     print()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from conftest import run_once
 
 from repro.experiments import fig3b_minflood
+from repro.experiments.presets import Preset
 
 DEPTHS = (1, 16, 64)
 
@@ -19,9 +20,7 @@ def test_fig3b_minimum_flood_rate(benchmark, bench_settings, bench_jobs):
     result = run_once(
         benchmark,
         fig3b_minflood.run,
-        depths=DEPTHS,
-        settings=bench_settings,
-        probe_duration=0.4,
+        preset=Preset(name="bench", settings=bench_settings, depths=DEPTHS, probe_duration=0.4),
         jobs=bench_jobs,
     )
     print()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from conftest import run_once
 
 from repro.experiments import table1_http
+from repro.experiments.presets import Preset
 
 DEPTHS = (1, 16, 32, 64)
 VPG_COUNTS = (1, 2, 4)
@@ -21,9 +22,7 @@ def test_table1_http_performance(benchmark, bench_settings, bench_jobs):
     result = run_once(
         benchmark,
         table1_http.run,
-        depths=DEPTHS,
-        vpg_counts=VPG_COUNTS,
-        settings=bench_settings,
+        preset=Preset(name="bench", settings=bench_settings, depths=DEPTHS, vpg_counts=VPG_COUNTS),
         jobs=bench_jobs,
     )
     print()

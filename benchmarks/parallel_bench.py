@@ -40,14 +40,48 @@ from typing import List, Optional, Tuple
 
 from repro.core.parallel import resolve_jobs
 from repro.experiments import runner
+from repro.obs import MetricsCollector
 
 
-def _timed_run(experiment_id: str, jobs: int) -> Tuple[float, str]:
+def _timed_run(experiment_id: str, jobs: int, metrics=None) -> Tuple[float, str]:
     """Run one quick preset; return (wall-clock seconds, rendered output)."""
     start = time.perf_counter()
-    result = runner.run_experiment_result(experiment_id, quick=True, jobs=jobs)
+    result = runner.run_experiment_result(
+        experiment_id, quick=True, jobs=jobs, metrics=metrics
+    )
     elapsed = time.perf_counter() - start
     return elapsed, runner.render_result(result)
+
+
+def _metrics_overhead(experiment_id: str) -> dict:
+    """Cost of turning metrics *collection* on for one quick preset.
+
+    Everything in this file otherwise runs with the default null
+    registry, i.e. with instrumentation compiled in but disabled — those
+    ``serial_s``/``parallel_s`` numbers are the ones to diff against the
+    pre-instrumentation baseline (the ≤5 % null-registry budget).  This
+    measures the other axis: a real registry plus a running sampler.
+    """
+    off_s, off_out = _timed_run(experiment_id, 1)
+    collector = MetricsCollector()
+    on_s, on_out = _timed_run(experiment_id, 1, metrics=collector)
+    if on_out != off_out:
+        raise AssertionError(f"{experiment_id}: metrics collection changed the table")
+    samples = sum(
+        len(series.points)
+        for point in collector.points
+        for snapshot in point.snapshots
+        for series in snapshot.series
+    )
+    return {
+        "experiment": experiment_id,
+        "off_s": round(off_s, 3),
+        "on_s": round(on_s, 3),
+        "overhead_pct": round(100.0 * (on_s - off_s) / off_s, 1) if off_s else 0.0,
+        "points": len(collector.points),
+        "samples": samples,
+        "outputs_identical": True,
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -71,6 +105,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "-o",
         default="BENCH_parallel.json",
         help="path for the JSON summary (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-metrics-overhead",
+        action="store_true",
+        help="skip the metrics-collection overhead measurement",
     )
     args = parser.parse_args(argv)
 
@@ -124,6 +163,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "speedup": round(total_serial / total_parallel, 2) if total_parallel else 0.0,
         },
     }
+    if not args.no_metrics_overhead:
+        overhead_id = "fig3a" if "fig3a" in ids else ids[0]
+        print(f"== {overhead_id}: metrics collection on vs off ==", file=sys.stderr)
+        payload["metrics_overhead"] = _metrics_overhead(overhead_id)
+        print(
+            f"   metrics collection: {payload['metrics_overhead']['overhead_pct']}% "
+            f"({payload['metrics_overhead']['samples']} samples)",
+            file=sys.stderr,
+        )
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.host.host import Host
 from repro.net.addresses import Ipv4Address
+from repro.obs.registry import LATENCY_MS_BUCKETS
 
 
 @dataclass
@@ -106,6 +107,18 @@ class HttpLoadSession:
         self.deadline = self.started_at + duration
         self.result_data = HttpLoadResult(duration=duration)
         self.finished = False
+        # Fetch completion/failure is a cold path (one event per page),
+        # so direct instruments are fine here.
+        metrics = self.sim.metrics
+        self._fetch_metric = metrics.counter("app_http_fetches", app="http_load", outcome="completed")
+        self._failure_metric = metrics.counter("app_http_fetches", app="http_load", outcome="failed")
+        self._bytes_metric = metrics.counter("app_bytes_delivered", app="http_load", transport="tcp")
+        self._connect_latency = metrics.histogram(
+            "app_connect_latency_ms", buckets=LATENCY_MS_BUCKETS, app="http_load"
+        )
+        self._first_response_latency = metrics.histogram(
+            "app_first_response_latency_ms", buckets=LATENCY_MS_BUCKETS, app="http_load"
+        )
         self.sim.schedule(duration, self._finish)
         self._begin_fetch()
 
@@ -121,6 +134,7 @@ class HttpLoadSession:
 
         def on_connected(conn) -> None:
             record.connect_time = self.sim.now - record.started_at
+            self._connect_latency.observe(record.connect_time * 1e3)
             request = (
                 f"GET {self.path} HTTP/1.0\r\n"
                 f"Host: {self.server_ip}\r\n"
@@ -132,6 +146,7 @@ class HttpLoadSession:
         def on_data(conn, data: bytes, size: int) -> None:
             if size and record.first_response_time is None:
                 record.first_response_time = self.sim.now - record.started_at
+                self._first_response_latency.observe(record.first_response_time * 1e3)
             state["header"].extend(data)
             state["total"] += size
             if state["expect"] is None:
@@ -142,6 +157,8 @@ class HttpLoadSession:
             if state["expect"] is not None and state["total"] >= state["expect"]:
                 record.bytes_received = state["total"]
                 record.completed_at = self.sim.now
+                self._fetch_metric.inc()
+                self._bytes_metric.inc(state["total"])
                 conn.on_data = None
                 conn.on_closed = None
                 conn.close()
@@ -150,8 +167,9 @@ class HttpLoadSession:
         def on_failed(conn) -> None:
             # Refused, reset mid-transfer, or handshake timeout: count the
             # failure and keep trying (http_load presses on).
-            if record.completed_at is None:
+            if record.completed_at is None and not record.failed:
                 record.failed = True
+                self._failure_metric.inc()
             self._begin_fetch()
 
         connection.on_connected = on_connected

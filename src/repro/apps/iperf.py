@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.host.host import Host
 from repro.net.addresses import Ipv4Address
+from repro.obs.registry import LATENCY_MS_BUCKETS
 from repro.sim.timer import PeriodicTimer
 
 #: iperf's traditional default port.
@@ -69,6 +70,24 @@ class IperfServer:
         self.connections_accepted = 0
         self._listener = host.tcp.listen(port, self._accept)
         self._udp_socket = host.udp.bind(port, self._datagram)
+        # Callback-backed: read only when sampled, free when disabled.
+        metrics = host.sim.metrics
+        metrics.counter_fn(
+            "app_bytes_delivered", lambda: self.tcp_bytes_received,
+            app="iperf", transport="tcp", port=port,
+        )
+        metrics.counter_fn(
+            "app_bytes_delivered", lambda: self.udp_bytes_received,
+            app="iperf", transport="udp", port=port,
+        )
+        metrics.counter_fn(
+            "app_datagrams_received", lambda: self.udp_datagrams_received,
+            app="iperf", port=port,
+        )
+        metrics.counter_fn(
+            "app_connections_accepted", lambda: self.connections_accepted,
+            app="iperf", port=port,
+        )
 
     def close(self) -> None:
         """Stop listening (both transports)."""
@@ -98,6 +117,11 @@ class TcpIperfSession:
         self._bytes_at_end: Optional[int] = None
         self.connect_failed = False
         self.finished = False
+        # Connect latency is one observation per session — a cold path, so
+        # a direct histogram is fine.
+        self._connect_latency = self.sim.metrics.histogram(
+            "app_connect_latency_ms", buckets=LATENCY_MS_BUCKETS, app="iperf"
+        )
         self.connection = client_host.tcp.connect(server_ip, port)
         self.connection.on_connected = self._connected
         self.connection.on_refused = self._refused
@@ -108,6 +132,7 @@ class TcpIperfSession:
         self.sim.schedule(duration, self._finish)
 
     def _connected(self, connection) -> None:
+        self._connect_latency.observe((self.sim.now - self.started_at) * 1e3)
         self._bytes_at_start = connection.bytes_acked
         connection.send(TCP_STREAM_BYTES)
 

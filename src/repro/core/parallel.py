@@ -32,7 +32,9 @@ import multiprocessing
 import os
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import collect as obs_collect
 
 #: Environment variable consulted when no explicit ``jobs`` is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -92,6 +94,23 @@ def _call_spec(spec: SweepPointSpec) -> Any:
     return spec.fn(**spec.kwargs)
 
 
+def _call_spec_collecting(payload: Tuple[SweepPointSpec, float]) -> Tuple[Any, list]:
+    """Run one spec with metrics collection active in this process.
+
+    Used for *both* the serial and the pooled path, so a point's
+    snapshots are identical whatever ``jobs`` is; they travel back to the
+    parent alongside the point's result (snapshots are plain dataclasses,
+    hence picklable).
+    """
+    spec, interval = payload
+    obs_collect.activate(interval)
+    try:
+        value = spec.fn(**spec.kwargs)
+    finally:
+        snapshots = obs_collect.deactivate()
+    return value, snapshots
+
+
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     """The ``fork`` multiprocessing context, or None when unavailable."""
     try:
@@ -118,6 +137,11 @@ class SweepExecutor:
     progress:
         Optional ``progress(line)`` callback, always invoked in the
         parent process.
+    metrics:
+        Optional :class:`~repro.obs.collect.MetricsCollector`.  When
+        given, each point runs with metrics collection active and its
+        snapshots are deposited into the collector in spec order —
+        identical output for any ``jobs`` value.
 
     Examples
     --------
@@ -133,9 +157,11 @@ class SweepExecutor:
         self,
         jobs: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
+        metrics=None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.progress = progress
+        self.metrics = metrics
 
     def run(self, specs: Iterable[SweepPointSpec]) -> List[Any]:
         """Execute every spec; results are returned in spec order."""
@@ -166,7 +192,12 @@ class SweepExecutor:
         results = []
         for index, spec in enumerate(specs, start=1):
             self._announce(index, total, spec.label)
-            results.append(_call_spec(spec))
+            if self.metrics is None:
+                results.append(_call_spec(spec))
+            else:
+                value, snapshots = _call_spec_collecting((spec, self.metrics.interval))
+                self.metrics.add_point(spec.label, snapshots)
+                results.append(value)
         return results
 
     def _run_parallel(self, specs: Sequence[SweepPointSpec]) -> List[Any]:
@@ -181,9 +212,19 @@ class SweepExecutor:
             return self._run_serial(specs)
         results: List[Any] = []
         try:
-            for index, result in enumerate(pool.imap(_call_spec, specs, chunksize=1), start=1):
+            if self.metrics is None:
+                iterator = pool.imap(_call_spec, specs, chunksize=1)
+            else:
+                payloads = [(spec, self.metrics.interval) for spec in specs]
+                iterator = pool.imap(_call_spec_collecting, payloads, chunksize=1)
+            for index, result in enumerate(iterator, start=1):
                 self._announce(index, total, specs[index - 1].label)
-                results.append(result)
+                if self.metrics is None:
+                    results.append(result)
+                else:
+                    value, snapshots = result
+                    self.metrics.add_point(specs[index - 1].label, snapshots)
+                    results.append(value)
         finally:
             pool.terminate()
             pool.join()

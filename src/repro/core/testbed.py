@@ -25,6 +25,7 @@ from repro.firewall.ruleset import RuleSet
 from repro.host.host import Host
 from repro.net.addresses import Ipv4Address, MacAddress
 from repro.net.topology import StarTopology
+from repro.obs import collect as obs_collect
 from repro.nic.adf import AdfNic
 from repro.nic.efw import EfwNic
 from repro.nic.hardened import HardenedNic
@@ -93,6 +94,11 @@ class Testbed:
         self.device = device
         self.client_device = client_device
         self.sim = Simulator()
+        # When metrics collection is active in this process (see
+        # repro.obs.collect), swap a real registry onto the fresh kernel
+        # *before* any component is built, so every constructor below
+        # self-registers its instruments into it.
+        obs_collect.attach_simulator(self.sim)
         self.rng = RngRegistry(seed)
         self.topology = StarTopology(self.sim, bandwidth_bps=bandwidth_bps)
         self.hosts: Dict[str, Host] = {}

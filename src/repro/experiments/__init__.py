@@ -1,10 +1,30 @@
 """Experiment modules: one per figure/table of the paper, plus ablations.
 
 Run them via ``python -m repro.experiments [fig2|fig3a|fig3b|table1|ablations|all]``
-(add ``--quick`` for reduced grids), or import and call each module's
-``run()`` for programmatic access.
+(add ``--quick`` for reduced grids, ``--metrics DIR`` for per-component
+time series), or call each module's ``run(preset=...)`` — every module
+follows the shared keyword contract
+``run(*, preset, progress=None, jobs=None, metrics=None)``
+(see :mod:`repro.experiments.presets`).
 """
 
-from repro.experiments.runner import REGISTRY, experiment_ids, run_experiment
+from repro.experiments.presets import FULL, QUICK, Preset, preset_for
+from repro.experiments.runner import (
+    REGISTRY,
+    ExperimentSpec,
+    experiment_ids,
+    run_experiment,
+    run_experiment_result,
+)
 
-__all__ = ["REGISTRY", "experiment_ids", "run_experiment"]
+__all__ = [
+    "FULL",
+    "QUICK",
+    "Preset",
+    "preset_for",
+    "REGISTRY",
+    "ExperimentSpec",
+    "experiment_ids",
+    "run_experiment",
+    "run_experiment_result",
+]

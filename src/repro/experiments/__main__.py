@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR]``."""
+"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR] [--metrics DIR]``."""
 
 from __future__ import annotations
 
@@ -10,6 +10,7 @@ import time
 from repro.core.parallel import JOBS_ENV_VAR, resolve_jobs
 from repro.experiments.figures import plot_result
 from repro.experiments.results import write_json
+from repro.obs import MetricsCollector, write_metrics_csv
 from repro.experiments.runner import (
     experiment_ids,
     render_result,
@@ -57,6 +58,16 @@ def main(argv=None) -> int:
         help="also write each experiment's raw result to DIR/<id>.json",
     )
     parser.add_argument(
+        "--metrics",
+        metavar="DIR",
+        default=None,
+        help=(
+            "collect per-component time series (queue depths, drop causes, "
+            "NIC accept/deny rates) for every sweep point and write them to "
+            "DIR/<id>_metrics.{json,csv}; tables are unaffected"
+        ),
+    )
+    parser.add_argument(
         "--plot",
         action="store_true",
         help="print ASCII charts for the figure experiments",
@@ -73,6 +84,8 @@ def main(argv=None) -> int:
         selected = experiment_ids()
     if args.json is not None:
         os.makedirs(args.json, exist_ok=True)
+    if args.metrics is not None:
+        os.makedirs(args.metrics, exist_ok=True)
 
     try:
         jobs = resolve_jobs(args.jobs)
@@ -82,8 +95,10 @@ def main(argv=None) -> int:
     for experiment_id in selected:
         started = time.time()
         print(f"== {experiment_id} (jobs={jobs}) ==", file=sys.stderr)
+        collector = MetricsCollector() if args.metrics is not None else None
         result = run_experiment_result(
-            experiment_id, quick=args.quick, progress=progress, jobs=jobs
+            experiment_id, quick=args.quick, progress=progress, jobs=jobs,
+            metrics=collector,
         )
         elapsed = time.time() - started
         print(render_result(result))
@@ -96,6 +111,13 @@ def main(argv=None) -> int:
             path = os.path.join(args.json, f"{experiment_id}.json")
             write_json(result, path)
             print(f"(wrote {path})", file=sys.stderr)
+        if collector is not None:
+            series = collector.experiment(experiment_id)
+            json_path = os.path.join(args.metrics, f"{experiment_id}_metrics.json")
+            csv_path = os.path.join(args.metrics, f"{experiment_id}_metrics.csv")
+            write_json(series, json_path)
+            write_metrics_csv(series, csv_path)
+            print(f"(wrote {json_path} and {csv_path})", file=sys.stderr)
         print(f"({experiment_id} took {elapsed:.1f}s)\n", file=sys.stderr)
     return 0
 

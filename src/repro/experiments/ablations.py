@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
 from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
+from repro.experiments.presets import FULL, Preset
 from repro.core.testbed import DeviceKind, Testbed
 from repro.apps.iperf import IperfClient, IperfServer
 
@@ -68,6 +69,7 @@ def response_traffic(
     depth: int = 32,
     progress=None,
     jobs: Optional[int] = None,
+    metrics=None,
 ) -> AblationResult:
     """Allowed-flood minimum DoS rate, with and without host responses.
 
@@ -93,7 +95,7 @@ def response_traffic(
             kwargs={"settings": settings, "depth": depth},
         ),
     ]
-    allow, deny, muted = SweepExecutor(jobs=jobs, progress=progress).run(specs)
+    allow, deny, muted = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
     result = AblationResult(name="response-traffic (ADF)", unit="min DoS flood (pps)")
     result.outcomes["allowed flood, responses ON"] = allow
     result.outcomes["denied flood (reference)"] = deny
@@ -161,6 +163,7 @@ def lazy_decrypt(
     vpg_counts: Tuple[int, ...] = (1, 4, 8),
     progress=None,
     jobs: Optional[int] = None,
+    metrics=None,
 ) -> AblationResult:
     """ADF VPG bandwidth with lazy vs. eager decryption."""
     settings = settings if settings is not None else MeasurementSettings()
@@ -175,7 +178,7 @@ def lazy_decrypt(
         )
         for lazy, vpg_count in plans
     ]
-    values = SweepExecutor(jobs=jobs, progress=progress).run(specs)
+    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
     result = AblationResult(name="lazy-decrypt", unit="bandwidth (Mbps)")
     for (lazy, vpg_count), mbps in zip(plans, values):
         mode = "lazy" if lazy else "eager"
@@ -195,6 +198,7 @@ def ring_size(
     flood_rate: float = 35000.0,
     progress=None,
     jobs: Optional[int] = None,
+    metrics=None,
 ) -> AblationResult:
     """Bandwidth under a near-saturating flood as the RX ring grows."""
     settings = settings if settings is not None else MeasurementSettings()
@@ -206,7 +210,7 @@ def ring_size(
         )
         for size in ring_sizes
     ]
-    values = SweepExecutor(jobs=jobs, progress=progress).run(specs)
+    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
     result = AblationResult(
         name=f"ring-size (flood {flood_rate:,.0f} pps)", unit="bandwidth (Mbps)"
     )
@@ -283,6 +287,7 @@ def stateful_firewall(
     depth: int = 256,
     progress=None,
     jobs: Optional[int] = None,
+    metrics=None,
 ) -> AblationResult:
     """Stateless vs. stateful iptables: CPU cost and state exhaustion.
 
@@ -310,7 +315,7 @@ def stateful_firewall(
             kwargs={"settings": settings},
         ),
     ]
-    executor = SweepExecutor(jobs=jobs, progress=progress)
+    executor = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics)
     (stateless_mbps, stateless_cpu), (stateful_mbps, stateful_cpu), exhaustion = (
         executor.run(specs)
     )
@@ -327,14 +332,20 @@ def stateful_firewall(
 
 
 def run(
-    settings: Optional[MeasurementSettings] = None,
+    *,
+    preset: Optional[Preset] = None,
     progress=None,
     jobs: Optional[int] = None,
+    metrics=None,
 ) -> List[AblationResult]:
-    """Run all four ablations."""
+    """Run all four ablations (grid knobs: ``vpg_counts``, ``ring_sizes``,
+    ``stateful_depth``)."""
+    preset = preset if preset is not None else FULL
+    settings = preset.settings
+    common = {"progress": progress, "jobs": jobs, "metrics": metrics}
     return [
-        response_traffic(settings, progress=progress, jobs=jobs),
-        lazy_decrypt(settings, progress=progress, jobs=jobs),
-        ring_size(settings, progress=progress, jobs=jobs),
-        stateful_firewall(settings, progress=progress, jobs=jobs),
+        response_traffic(settings, **common),
+        lazy_decrypt(settings, vpg_counts=preset.grid("vpg_counts", (1, 4, 8)), **common),
+        ring_size(settings, ring_sizes=preset.grid("ring_sizes", (16, 64, 256)), **common),
+        stateful_firewall(settings, depth=preset.grid("stateful_depth", 256), **common),
     ]

@@ -29,6 +29,7 @@ from repro.core.methodology import (
 )
 from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
+from repro.experiments.presets import FULL, Preset
 from repro.core.testbed import DeviceKind
 from repro.core.throughput import ThroughputTester
 from repro.sim import units
@@ -112,17 +113,21 @@ def _hardened_point(
 
 
 def run(
-    depths: Tuple[int, ...] = DEFAULT_DEPTHS,
-    settings: Optional[MeasurementSettings] = None,
+    *,
+    preset: Optional[Preset] = None,
     progress=None,
     jobs: Optional[int] = None,
+    metrics=None,
 ) -> HardenedResult:
-    """Run the extension comparison (EFW vs. hardened NIC).
+    """Run the extension comparison (grid knob: ``depths``).
 
-    ``jobs`` selects the worker-process count (1 = serial; None = auto);
-    results are identical for any value.
+    ``jobs`` selects the worker-process count (1 = serial; None = auto)
+    and ``metrics`` an optional collector; results are identical for any
+    value of either.
     """
-    settings = settings if settings is not None else MeasurementSettings()
+    preset = preset if preset is not None else FULL
+    settings = preset.measurement()
+    depths = preset.grid("depths", DEFAULT_DEPTHS)
     plans = [("EFW", DeviceKind.EFW), ("hardened", DeviceKind.HARDENED)]
     specs = [
         SweepPointSpec(
@@ -133,7 +138,7 @@ def run(
         for label, device in plans
         for depth in depths
     ]
-    points = SweepExecutor(jobs=jobs, progress=progress).run(specs)
+    points = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
     result = HardenedResult()
     cursor = iter(points)
     for label, _device in plans:

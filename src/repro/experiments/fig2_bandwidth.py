@@ -17,6 +17,7 @@ from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
 from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
 from repro.core.testbed import DeviceKind
+from repro.experiments.presets import FULL, Preset
 
 #: Action-rule depths measured (the paper's x-axis reaches 64).
 DEFAULT_DEPTHS = (1, 2, 4, 8, 16, 24, 32, 48, 64)
@@ -61,18 +62,22 @@ def _vpg_point(vpg_count: int, settings: MeasurementSettings) -> float:
 
 
 def run(
-    depths: Tuple[int, ...] = DEFAULT_DEPTHS,
-    vpg_counts: Tuple[int, ...] = DEFAULT_VPG_COUNTS,
-    settings: Optional[MeasurementSettings] = None,
+    *,
+    preset: Optional[Preset] = None,
     progress=None,
     jobs: Optional[int] = None,
+    metrics=None,
 ) -> Fig2Result:
-    """Regenerate Figure 2.
+    """Regenerate Figure 2 (grid knobs: ``depths``, ``vpg_counts``).
 
-    ``jobs`` selects the worker-process count (1 = serial; None = auto);
-    results are identical for any value.
+    ``jobs`` selects the worker-process count (1 = serial; None = auto)
+    and ``metrics`` an optional collector; results are identical for any
+    value of either.
     """
-    settings = settings if settings is not None else MeasurementSettings()
+    preset = preset if preset is not None else FULL
+    settings = preset.measurement()
+    depths = preset.grid("depths", DEFAULT_DEPTHS)
+    vpg_counts = preset.grid("vpg_counts", DEFAULT_VPG_COUNTS)
     plans = [
         ("EFW", DeviceKind.EFW),
         ("ADF", DeviceKind.ADF),
@@ -95,7 +100,7 @@ def run(
         )
         for vpg_count in vpg_counts
     )
-    values = SweepExecutor(jobs=jobs, progress=progress).run(specs)
+    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
     result = Fig2Result()
     cursor = iter(values)
     for label, _device in plans:

@@ -19,6 +19,7 @@ from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
 from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
 from repro.core.testbed import DeviceKind
+from repro.experiments.presets import FULL, Preset
 
 #: The nine flood rates (packets/second) of the paper's sweep.
 DEFAULT_FLOOD_RATES = (0, 5000, 10000, 15000, 20000, 25000, 30000, 40000, 50000)
@@ -63,19 +64,23 @@ def _flood_point(
 
 
 def run(
-    flood_rates: Tuple[float, ...] = DEFAULT_FLOOD_RATES,
-    settings: Optional[MeasurementSettings] = None,
-    repetitions: int = DEFAULT_REPETITIONS,
+    *,
+    preset: Optional[Preset] = None,
     progress=None,
     jobs: Optional[int] = None,
+    metrics=None,
 ) -> Fig3aResult:
-    """Regenerate Figure 3a.
+    """Regenerate Figure 3a (grid knobs: ``flood_rates``, ``repetitions``).
 
-    ``jobs`` selects the worker-process count (1 = serial; None = auto).
-    Every point is an isolated deterministic simulation, so the result is
-    identical for any ``jobs`` value.
+    ``jobs`` selects the worker-process count (1 = serial; None = auto)
+    and ``metrics`` an optional collector.  Every point is an isolated
+    deterministic simulation, so the result is identical for any value
+    of either.
     """
-    base = settings if settings is not None else MeasurementSettings()
+    preset = preset if preset is not None else FULL
+    flood_rates = preset.grid("flood_rates", DEFAULT_FLOOD_RATES)
+    repetitions = preset.grid("repetitions", DEFAULT_REPETITIONS)
+    base = preset.measurement()
     settings = MeasurementSettings(
         duration=base.duration,
         flood_lead=base.flood_lead,
@@ -107,7 +112,7 @@ def run(
         for label, device, vpg_count in plans
         for rate in flood_rates
     ]
-    values = SweepExecutor(jobs=jobs, progress=progress).run(specs)
+    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
     result = Fig3aResult()
     cursor = iter(values)
     for label, _device, _vpg_count in plans:

@@ -21,6 +21,7 @@ from repro.core.methodology import (
 )
 from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
+from repro.experiments.presets import FULL, Preset
 from repro.core.testbed import DeviceKind
 
 #: Action-rule depths of the paper's Figure 3b.
@@ -76,20 +77,24 @@ def _minflood_point(
 
 
 def run(
-    depths: Tuple[int, ...] = DEFAULT_DEPTHS,
-    settings: Optional[MeasurementSettings] = None,
-    probe_duration: float = 0.6,
+    *,
+    preset: Optional[Preset] = None,
     progress=None,
     jobs: Optional[int] = None,
+    metrics=None,
 ) -> Fig3bResult:
-    """Regenerate Figure 3b.
+    """Regenerate Figure 3b (grid knobs: ``depths``, ``probe_duration``).
 
     ``probe_duration`` shortens each bandwidth probe inside the rate
     search; the DoS verdict is insensitive to the window length.
-    ``jobs`` selects the worker-process count (1 = serial; None = auto);
-    results are identical for any value.
+    ``jobs`` selects the worker-process count (1 = serial; None = auto)
+    and ``metrics`` an optional collector; results are identical for any
+    value of either.
     """
-    settings = settings if settings is not None else MeasurementSettings()
+    preset = preset if preset is not None else FULL
+    settings = preset.measurement()
+    depths = preset.grid("depths", DEFAULT_DEPTHS)
+    probe_duration = preset.grid("probe_duration", 0.6)
     plans = [
         ("EFW (Allow)", DeviceKind.EFW, True),
         ("ADF (Allow)", DeviceKind.ADF, True),
@@ -113,7 +118,7 @@ def run(
         for label, device, flood_allowed in plans
         for depth in depths
     ]
-    searches = SweepExecutor(jobs=jobs, progress=progress).run(specs)
+    searches = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
     result = Fig3bResult()
     cursor = iter(searches)
     for label, _device, _flood_allowed in plans:

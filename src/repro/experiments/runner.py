@@ -1,19 +1,26 @@
-"""Experiment registry and the quick/full presets.
+"""Experiment registry and the unified run contract.
 
 ``python -m repro.experiments <id>`` regenerates one artefact; ids are
 ``fig2``, ``fig3a``, ``fig3b``, ``table1``, ``ablations``, ``extension``
-or ``all``.  The ``--quick`` preset trims grids and windows so a full
-pass finishes in a few minutes; the full preset matches the modules'
-defaults.  ``--json DIR`` additionally archives each experiment's raw
-result as JSON (see :mod:`repro.experiments.results`).
+or ``all``.  Every experiment is an :class:`ExperimentSpec` whose single
+entry point follows the shared keyword contract::
+
+    spec.run(preset=..., progress=..., jobs=..., metrics=...)
+
+``preset`` is a :class:`~repro.experiments.presets.Preset` (or the names
+"full"/"quick"); the quick grids live in
+:mod:`repro.experiments.presets`.  ``metrics`` is an optional
+:class:`~repro.obs.collect.MetricsCollector` that receives per-sweep
+time series; ``--json DIR`` and ``--metrics DIR`` on the CLI archive the
+result and the series (see :mod:`repro.experiments.results`).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.core.methodology import MeasurementSettings
 from repro.experiments import (
     ablations,
     extension_hardened,
@@ -22,27 +29,68 @@ from repro.experiments import (
     fig3b_minflood,
     table1_http,
 )
+from repro.experiments.presets import Preset, resolve_preset
 
 Progress = Optional[Callable[[str], None]]
 
 Jobs = Optional[int]
+
+PresetLike = Union[None, str, Preset]
 
 
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One runnable experiment.
 
-    ``run_full``/``run_quick`` take ``(progress, jobs)`` and return the
-    experiment's *result object*; :func:`render_result` turns any of
-    them into printable tables.  ``jobs`` is the sweep worker-process
-    count (see :mod:`repro.core.parallel`); results are identical for
-    any value.
+    ``entry`` is the experiment module's ``run`` implementing the shared
+    keyword contract; :meth:`run` normalizes the preset and forwards.
+    ``jobs`` is the sweep worker-process count (see
+    :mod:`repro.core.parallel`) and ``metrics`` an optional collector;
+    results are identical for any value of either.
     """
 
     experiment_id: str
     title: str
-    run_full: Callable[[Progress, Jobs], Any]
-    run_quick: Callable[[Progress, Jobs], Any]
+    entry: Callable[..., Any]
+
+    def run(
+        self,
+        *,
+        preset: PresetLike = None,
+        progress: Progress = None,
+        jobs: Jobs = None,
+        metrics=None,
+    ) -> Any:
+        """Run the experiment and return its raw result object."""
+        resolved = resolve_preset(self.experiment_id, preset)
+        return self.entry(preset=resolved, progress=progress, jobs=jobs, metrics=metrics)
+
+    # -- deprecated entry points ---------------------------------------
+    # The pre-telemetry API exposed run_full/run_quick callables taking
+    # (progress, jobs).  Kept as shims for external callers; new code
+    # uses spec.run(preset=...).
+
+    @property
+    def run_full(self) -> Callable[..., Any]:
+        warnings.warn(
+            "ExperimentSpec.run_full is deprecated; use spec.run(preset='full')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return lambda progress=None, jobs=None: self.run(
+            preset="full", progress=progress, jobs=jobs
+        )
+
+    @property
+    def run_quick(self) -> Callable[..., Any]:
+        warnings.warn(
+            "ExperimentSpec.run_quick is deprecated; use spec.run(preset='quick')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return lambda progress=None, jobs=None: self.run(
+            preset="quick", progress=progress, jobs=jobs
+        )
 
 
 def render_result(result: Any) -> str:
@@ -54,127 +102,38 @@ def render_result(result: Any) -> str:
     return result.table()
 
 
-def _fig2_full(progress, jobs=None):
-    return fig2_bandwidth.run(progress=progress, jobs=jobs)
-
-
-def _fig2_quick(progress, jobs=None):
-    return fig2_bandwidth.run(
-        depths=(1, 8, 16, 32, 64),
-        vpg_counts=(1, 4),
-        settings=MeasurementSettings(duration=0.5),
-        progress=progress,
-        jobs=jobs,
-    )
-
-
-def _fig3a_full(progress, jobs=None):
-    return fig3a_flood.run(progress=progress, jobs=jobs)
-
-
-def _fig3a_quick(progress, jobs=None):
-    return fig3a_flood.run(
-        flood_rates=(0, 10000, 20000, 30000, 40000, 50000),
-        settings=MeasurementSettings(duration=0.5),
-        repetitions=1,
-        progress=progress,
-        jobs=jobs,
-    )
-
-
-def _fig3b_full(progress, jobs=None):
-    return fig3b_minflood.run(progress=progress, jobs=jobs)
-
-
-def _fig3b_quick(progress, jobs=None):
-    return fig3b_minflood.run(
-        depths=(1, 16, 64),
-        settings=MeasurementSettings(duration=0.5),
-        probe_duration=0.5,
-        progress=progress,
-        jobs=jobs,
-    )
-
-
-def _table1_full(progress, jobs=None):
-    return table1_http.run(progress=progress, jobs=jobs)
-
-
-def _table1_quick(progress, jobs=None):
-    return table1_http.run(
-        depths=(1, 32, 64),
-        vpg_counts=(1, 4),
-        settings=MeasurementSettings(http_duration=1.5),
-        progress=progress,
-        jobs=jobs,
-    )
-
-
-def _extension_full(progress, jobs=None):
-    return extension_hardened.run(progress=progress, jobs=jobs)
-
-
-def _extension_quick(progress, jobs=None):
-    return extension_hardened.run(
-        depths=(1, 64),
-        settings=MeasurementSettings(duration=0.5),
-        progress=progress,
-        jobs=jobs,
-    )
-
-
-def _ablations_full(progress, jobs=None):
-    return ablations.run(progress=progress, jobs=jobs)
-
-
-def _ablations_quick(progress, jobs=None):
-    settings = MeasurementSettings(duration=0.5)
-    return [
-        ablations.response_traffic(settings, progress=progress, jobs=jobs),
-        ablations.lazy_decrypt(settings, vpg_counts=(1, 8), progress=progress, jobs=jobs),
-        ablations.ring_size(settings, ring_sizes=(16, 256), progress=progress, jobs=jobs),
-        ablations.stateful_firewall(settings, depth=128, progress=progress, jobs=jobs),
-    ]
-
-
 REGISTRY: Dict[str, ExperimentSpec] = {
     spec.experiment_id: spec
     for spec in (
         ExperimentSpec(
             "fig2",
             "Figure 2: available bandwidth vs. rule-set depth",
-            _fig2_full,
-            _fig2_quick,
+            fig2_bandwidth.run,
         ),
         ExperimentSpec(
             "fig3a",
             "Figure 3a: available bandwidth during flood",
-            _fig3a_full,
-            _fig3a_quick,
+            fig3a_flood.run,
         ),
         ExperimentSpec(
             "fig3b",
             "Figure 3b: minimum DoS flood rate vs. depth",
-            _fig3b_full,
-            _fig3b_quick,
+            fig3b_minflood.run,
         ),
         ExperimentSpec(
             "table1",
             "Table 1: HTTP performance behind an ADF",
-            _table1_full,
-            _table1_quick,
+            table1_http.run,
         ),
         ExperimentSpec(
             "ablations",
             "Design-choice ablations",
-            _ablations_full,
-            _ablations_quick,
+            ablations.run,
         ),
         ExperimentSpec(
             "extension",
             "Extension: the future-work flood-tolerant NIC",
-            _extension_full,
-            _extension_quick,
+            extension_hardened.run,
         ),
     )
 }
@@ -190,19 +149,24 @@ def run_experiment_result(
     quick: bool = False,
     progress: Progress = None,
     jobs: Jobs = None,
+    metrics=None,
+    preset: PresetLike = None,
 ) -> Any:
     """Run one experiment and return its raw result object.
 
+    ``preset`` wins over the ``quick`` flag when both are given.
     ``jobs`` is the sweep worker-process count: 1 = serial, None = auto
-    (``REPRO_JOBS`` or the CPU count).  Any value yields the same result.
+    (``REPRO_JOBS`` or the CPU count).  Any value yields the same result,
+    with or without a ``metrics`` collector.
     """
     spec = REGISTRY.get(experiment_id)
     if spec is None:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; choose from {', '.join(REGISTRY)}"
         )
-    runner = spec.run_quick if quick else spec.run_full
-    return runner(progress, jobs)
+    if preset is None:
+        preset = "quick" if quick else "full"
+    return spec.run(preset=preset, progress=progress, jobs=jobs, metrics=metrics)
 
 
 def run_experiment(

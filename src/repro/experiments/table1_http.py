@@ -22,6 +22,7 @@ from repro.core.methodology import (
 )
 from repro.core.parallel import SweepExecutor, SweepPointSpec
 from repro.core.reports import format_table
+from repro.experiments.presets import FULL, Preset
 from repro.core.testbed import DeviceKind
 
 #: Rule depths for the ADF standard-rules columns.
@@ -76,18 +77,22 @@ def _http_point(
 
 
 def run(
-    depths: Tuple[int, ...] = DEFAULT_DEPTHS,
-    vpg_counts: Tuple[int, ...] = DEFAULT_VPG_COUNTS,
-    settings: Optional[MeasurementSettings] = None,
+    *,
+    preset: Optional[Preset] = None,
     progress=None,
     jobs: Optional[int] = None,
+    metrics=None,
 ) -> Table1Result:
-    """Regenerate Table 1.
+    """Regenerate Table 1 (grid knobs: ``depths``, ``vpg_counts``).
 
-    ``jobs`` selects the worker-process count (1 = serial; None = auto);
-    results are identical for any value.
+    ``jobs`` selects the worker-process count (1 = serial; None = auto)
+    and ``metrics`` an optional collector; results are identical for any
+    value of either.
     """
-    settings = settings if settings is not None else MeasurementSettings()
+    preset = preset if preset is not None else FULL
+    settings = preset.measurement()
+    depths = preset.grid("depths", DEFAULT_DEPTHS)
+    vpg_counts = preset.grid("vpg_counts", DEFAULT_VPG_COUNTS)
 
     def spec(label, device, depth=1, vpg_count=0):
         return SweepPointSpec(
@@ -110,7 +115,7 @@ def run(
         spec(f"table1: ADF VPG count={vpg_count}", DeviceKind.ADF, vpg_count=vpg_count)
         for vpg_count in vpg_counts
     )
-    measurements = SweepExecutor(jobs=jobs, progress=progress).run(specs)
+    measurements = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
     result = Table1Result()
     result.standard_nic = measurements[0]
     result.adf_standard = measurements[1 : 1 + len(depths)]

@@ -52,6 +52,18 @@ class LinkPort:
         self.rx_frames = 0
         self.rx_bytes = 0
         self.dropped_frames = 0
+        # Callback-backed instruments: the counters above stay plain ints
+        # on the hot path; a real registry reads them only at sample time
+        # (the default null registry discards these registrations).
+        metrics = link.sim.metrics
+        metrics.counter_fn("link_tx_frames", lambda: self.tx_frames, port=name)
+        metrics.counter_fn("link_tx_bytes", lambda: self.tx_bytes, port=name)
+        metrics.counter_fn("link_rx_frames", lambda: self.rx_frames, port=name)
+        metrics.counter_fn("link_rx_bytes", lambda: self.rx_bytes, port=name)
+        metrics.counter_fn(
+            "link_dropped_frames", lambda: self.dropped_frames, port=name, reason="queue_full"
+        )
+        metrics.gauge_fn("link_queue_depth", lambda: len(self._queue), port=name)
 
     # ------------------------------------------------------------------
 

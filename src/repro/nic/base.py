@@ -36,6 +36,12 @@ class BaseNic:
         self.frames_received = 0
         self.frames_sent = 0
         self.packets_delivered = 0
+        # Callback-backed instruments: read only at sample time, discarded
+        # entirely by the default null registry.
+        metrics = sim.metrics
+        metrics.counter_fn("nic_frames_received", lambda: self.frames_received, nic=name)
+        metrics.counter_fn("nic_frames_sent", lambda: self.frames_sent, nic=name)
+        metrics.counter_fn("nic_packets_delivered", lambda: self.packets_delivered, nic=name)
 
     # ------------------------------------------------------------------
     # Wiring

@@ -98,9 +98,26 @@ class EmbeddedFirewallNic(BaseNic):
         self.rx_denied = 0
         self.tx_allowed = 0
         self.tx_denied = 0
+        self.rules_evaluated = 0
         self.vpg_opened = 0
         self.vpg_auth_failures = 0
         self.agent_restarts = 0
+        # Callback-backed instruments over the plain counters above.  The
+        # fault (and hence the lockup counter) is installed by subclasses
+        # after this constructor, so its callback tolerates fault=None.
+        metrics = sim.metrics
+        metrics.counter_fn("nic_packets", lambda: self.rx_allowed, nic=name, direction="rx", verdict="allowed")
+        metrics.counter_fn("nic_packets", lambda: self.rx_denied, nic=name, direction="rx", verdict="denied")
+        metrics.counter_fn("nic_packets", lambda: self.tx_allowed, nic=name, direction="tx", verdict="allowed")
+        metrics.counter_fn("nic_packets", lambda: self.tx_denied, nic=name, direction="tx", verdict="denied")
+        metrics.counter_fn("nic_rules_evaluated", lambda: self.rules_evaluated, nic=name)
+        metrics.counter_fn("nic_vpg_opened", lambda: self.vpg_opened, nic=name)
+        metrics.counter_fn("nic_vpg_auth_failures", lambda: self.vpg_auth_failures, nic=name)
+        metrics.counter_fn("nic_agent_restarts", lambda: self.agent_restarts, nic=name)
+        metrics.counter_fn(
+            "nic_lockups", lambda: self.fault.lockups if self.fault is not None else 0, nic=name
+        )
+        metrics.gauge_fn("nic_wedged", lambda: int(self.processor.paused), nic=name)
 
     # ------------------------------------------------------------------
     # Policy management (driven by the policy server)
@@ -179,6 +196,7 @@ class EmbeddedFirewallNic(BaseNic):
         sealed = packet.payload if isinstance(packet.payload, VpgSealedPayload) else None
         if packet.protocol == IpProtocol.VPG and sealed is not None:
             result = self.policy.evaluate_encrypted(sealed.spi)
+            self.rules_evaluated += result.rules_traversed
             vpg_matched = result.is_vpg and result.allowed
             item.verdict = _Verdict(
                 allowed=result.allowed and vpg_matched,
@@ -199,6 +217,7 @@ class EmbeddedFirewallNic(BaseNic):
                 )
             return cost
         result = self.policy.evaluate(packet, Direction.INBOUND)
+        self.rules_evaluated += result.rules_traversed
         # A plaintext packet matching a VPG rule's selector is spoofed
         # traffic: group members always encrypt, so admission requires a
         # valid VPG encapsulation (sender authentication).
@@ -214,6 +233,7 @@ class EmbeddedFirewallNic(BaseNic):
             item.verdict = _Verdict(allowed=True)
             return self.cost_model.service_time(item.frame_bytes, rules_traversed=0)
         result = self.policy.evaluate(packet, Direction.OUTBOUND)
+        self.rules_evaluated += result.rules_traversed
         vpg_matched = result.is_vpg and result.allowed
         item.verdict = _Verdict(
             allowed=result.allowed,

@@ -58,6 +58,15 @@ class DenyFloodLockupFault:
         self._deny_times: Deque[float] = deque()
         self.lockups = 0
         self.locked_at: Optional[float] = None
+        # Lock-up state transitions are rare, so direct counters at event
+        # time; the default null registry makes these no-ops.
+        metrics = nic.sim.metrics
+        self._wedged_metric = metrics.counter(
+            "nic_lockup_transitions", nic=nic.name, state="wedged"
+        )
+        self._restored_metric = metrics.counter(
+            "nic_lockup_transitions", nic=nic.name, state="restored"
+        )
 
     def record_deny(self, now: float) -> None:
         """Note one ingress deny; wedge the card if the rate is sustained."""
@@ -74,9 +83,12 @@ class DenyFloodLockupFault:
         self.lockups += 1
         self.locked_at = now
         self._deny_times.clear()
+        self._wedged_metric.inc()
         self.nic.processor.pause(drop_queued=True)
 
     def reset(self) -> None:
         """Clear fault state (called by the agent restart)."""
         self._deny_times.clear()
+        if self.locked_at is not None:
+            self._restored_metric.inc()
         self.locked_at = None

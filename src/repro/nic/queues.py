@@ -70,6 +70,21 @@ class ServiceQueue:
         self.dropped_paused = 0
         self.busy_time = 0.0
         self._service_started: Optional[float] = None
+        # Callback-backed instruments read the plain counters above at
+        # sample time only; pause transitions are rare enough to count
+        # directly at event time.
+        metrics = sim.metrics
+        metrics.counter_fn("queue_accepted", lambda: self.accepted, queue=name)
+        metrics.counter_fn("queue_completed", lambda: self.completed, queue=name)
+        metrics.counter_fn(
+            "queue_dropped", lambda: self.dropped_full, queue=name, reason="full"
+        )
+        metrics.counter_fn(
+            "queue_dropped", lambda: self.dropped_paused, queue=name, reason="paused"
+        )
+        metrics.gauge_fn("queue_depth", lambda: len(self._queue), queue=name)
+        metrics.gauge_fn("queue_paused", lambda: int(self._paused), queue=name)
+        self._pause_metric = metrics.counter("queue_pause_transitions", queue=name)
 
     # ------------------------------------------------------------------
 
@@ -112,6 +127,8 @@ class ServiceQueue:
         items are dropped when ``drop_queued`` is True.
         """
         self.sim.tracer.emit(self.sim.now, self.name, "pause")
+        if not self._paused:
+            self._pause_metric.inc()
         self._paused = True
         self._busy = False
         self._service_started = None

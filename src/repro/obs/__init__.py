@@ -1,0 +1,61 @@
+"""Observability: run-time metrics for the simulated testbed.
+
+The paper's results are all *measurements under stress*; this package is
+the layer that makes those runs diagnosable while they happen:
+
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry` with counters,
+  gauges, and fixed-bucket histograms, plus the zero-cost
+  :data:`NULL_REGISTRY` used when observability is off,
+* :mod:`repro.obs.sampler` — an engine-driven :class:`Sampler` that
+  snapshots every registered metric on a sim-time interval into time
+  series (:class:`MetricsSnapshot`),
+* :mod:`repro.obs.collect` — per-sweep-point collection
+  (:class:`MetricsCollector`) whose output is identical for any
+  ``jobs`` worker count,
+* :mod:`repro.obs.instrument` — kernel gauges (events executed /
+  cancelled, heap depth),
+* :mod:`repro.obs.export` — CSV export of collected series (JSON goes
+  through :mod:`repro.experiments.results`).
+
+Components self-register against ``sim.metrics`` at construction; with
+the default :data:`NULL_REGISTRY` every registration returns a shared
+no-op instrument and nothing is stored, so instrumented hot paths cost
+nothing when observability is disabled.
+"""
+
+from repro.obs.collect import (
+    DEFAULT_SAMPLE_INTERVAL,
+    ExperimentMetrics,
+    MetricsCollector,
+    PointMetrics,
+)
+from repro.obs.export import flatten_rows, write_metrics_csv
+from repro.obs.instrument import instrument_simulator
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.sampler import MetricSeries, MetricsSnapshot, Sampler
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "ExperimentMetrics",
+    "Gauge",
+    "Histogram",
+    "MetricSeries",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "PointMetrics",
+    "Sampler",
+    "flatten_rows",
+    "instrument_simulator",
+    "write_metrics_csv",
+]

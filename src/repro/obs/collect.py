@@ -1,0 +1,154 @@
+"""Per-sweep-point metrics collection, identical for any worker count.
+
+The experiment sweeps run each point in its own (possibly forked)
+process, so collected metrics must travel back with the point's result.
+The pieces:
+
+* :class:`MetricsCollector` — parent-side storage the experiment modules
+  accept via their ``metrics=`` keyword.  The sweep executor deposits one
+  :class:`PointMetrics` per sweep point **in spec order**, so ``jobs=1``
+  and ``jobs=N`` runs produce identical collections.
+* the process-local *active collection* (:func:`activate` /
+  :func:`deactivate`) — while active, every
+  :class:`~repro.core.testbed.Testbed` built in this process attaches a
+  fresh :class:`~repro.obs.registry.MetricsRegistry` plus a running
+  :class:`~repro.obs.sampler.Sampler` (see :func:`attach_simulator`);
+  :func:`deactivate` snapshots them all, in creation order.
+
+The executor's worker wrapper activates before calling the point
+function and deactivates after, on both the serial and the pooled path —
+one code path, one result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.obs.instrument import instrument_simulator
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import MetricsSnapshot, Sampler
+
+#: Default virtual-time sampling interval (seconds): ~50-100 points per
+#: quick-preset measurement window.
+DEFAULT_SAMPLE_INTERVAL = 0.01
+
+
+@dataclass
+class PointMetrics:
+    """Metrics of one sweep point: one snapshot per testbed it built.
+
+    Points that probe repeatedly (repetitions, bisection searches) build
+    several testbeds; ``snapshots`` lists them in creation order.
+    """
+
+    label: str
+    snapshots: List[MetricsSnapshot] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentMetrics:
+    """All collected metrics of one experiment run."""
+
+    experiment_id: str
+    interval: float
+    points: List[PointMetrics] = field(default_factory=list)
+    schema_version: int = 1
+
+
+class MetricsCollector:
+    """Parent-side accumulator passed to ``run(metrics=...)``.
+
+    Parameters
+    ----------
+    interval:
+        Virtual-time sampling interval forwarded to every sampler.
+    """
+
+    def __init__(self, interval: float = DEFAULT_SAMPLE_INTERVAL):
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.points: List[PointMetrics] = []
+
+    def add_point(self, label: str, snapshots: List[MetricsSnapshot]) -> None:
+        """Deposit one sweep point's snapshots (called by the executor)."""
+        self.points.append(PointMetrics(label=label, snapshots=snapshots))
+
+    def clear(self) -> None:
+        """Drop everything collected so far."""
+        self.points.clear()
+
+    def experiment(self, experiment_id: str) -> ExperimentMetrics:
+        """Package the collection for archiving."""
+        return ExperimentMetrics(
+            experiment_id=experiment_id, interval=self.interval, points=list(self.points)
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+# ---------------------------------------------------------------------------
+# Process-local active collection
+# ---------------------------------------------------------------------------
+
+
+class _ActiveCollection:
+    """Samplers created while one sweep point runs in this process."""
+
+    __slots__ = ("interval", "samplers")
+
+    def __init__(self, interval: float):
+        self.interval = interval
+        self.samplers: List[Sampler] = []
+
+
+_ACTIVE: Optional[_ActiveCollection] = None
+
+
+def collection_active() -> bool:
+    """True while this process is collecting metrics for a sweep point."""
+    return _ACTIVE is not None
+
+
+def activate(interval: float = DEFAULT_SAMPLE_INTERVAL) -> None:
+    """Begin collecting: testbeds built from now on are instrumented."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("metrics collection is already active in this process")
+    _ACTIVE = _ActiveCollection(float(interval))
+
+
+def deactivate() -> List[MetricsSnapshot]:
+    """Stop collecting and return every sampler's snapshot, in creation order."""
+    global _ACTIVE
+    active = _ACTIVE
+    _ACTIVE = None
+    if active is None:
+        return []
+    snapshots = []
+    for sampler in active.samplers:
+        sampler.stop()
+        snapshots.append(sampler.snapshot())
+    return snapshots
+
+
+def attach_simulator(sim) -> Optional[Tuple[MetricsRegistry, Sampler]]:
+    """Instrument ``sim`` if a collection is active in this process.
+
+    Called by :class:`~repro.core.testbed.Testbed` right after it creates
+    its kernel: installs a fresh registry as ``sim.metrics`` (so every
+    component built afterwards self-registers into it), registers the
+    kernel gauges, and starts a sampler.  Returns None when no collection
+    is active — the testbed then stays on the null registry.
+    """
+    if _ACTIVE is None:
+        return None
+    registry = MetricsRegistry()
+    sim.metrics = registry
+    instrument_simulator(sim)
+    sampler = Sampler(sim, registry, _ACTIVE.interval)
+    sampler.start()
+    _ACTIVE.samplers.append(sampler)
+    return registry, sampler

@@ -1,0 +1,48 @@
+"""CSV export of collected metrics.
+
+JSON archiving goes through :mod:`repro.experiments.results` (the
+dataclasses serialize like any other result); CSV is the flat,
+spreadsheet-friendly companion: one row per sample point with the sweep
+point, run index, and series identity spelled out in columns.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+CSV_COLUMNS = ("point", "run", "series", "labels", "kind", "time", "value")
+
+
+def flatten_rows(experiment) -> Iterator[Tuple]:
+    """Yield ``(point, run, series, labels, kind, time, value)`` rows.
+
+    ``experiment`` is an :class:`~repro.obs.collect.ExperimentMetrics`;
+    each sweep point's snapshots are numbered ``run`` 0..N-1 in testbed
+    creation order.
+    """
+    for point in experiment.points:
+        for run_index, snapshot in enumerate(point.snapshots):
+            for series in snapshot.series:
+                for time, value in series.points:
+                    yield (
+                        point.label,
+                        run_index,
+                        series.name,
+                        series.label_text,
+                        series.kind,
+                        time,
+                        value,
+                    )
+
+
+def write_metrics_csv(experiment, path) -> Path:
+    """Write the flattened series of an experiment's metrics to ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        writer.writerows(flatten_rows(experiment))
+    return target

@@ -1,0 +1,21 @@
+"""Kernel-level instruments for a :class:`~repro.sim.engine.Simulator`.
+
+Everything here is callback-backed: the kernel keeps its plain ``int``
+counters and the registry reads them only at sample time, so the event
+loop's hot path is untouched.
+"""
+
+from __future__ import annotations
+
+
+def instrument_simulator(sim) -> None:
+    """Register the kernel's counters and gauges against ``sim.metrics``.
+
+    Safe to call with the null registry attached (the registrations are
+    discarded), and idempotent with a real one (get-or-create semantics).
+    """
+    registry = sim.metrics
+    registry.counter_fn("sim_events_executed", lambda: sim.events_executed, component="engine")
+    registry.counter_fn("sim_events_cancelled", lambda: sim.events_cancelled, component="engine")
+    registry.gauge_fn("sim_events_pending", lambda: sim.pending_count(), component="engine")
+    registry.gauge_fn("sim_heap_depth", lambda: len(sim._heap), component="engine")

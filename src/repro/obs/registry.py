@@ -1,0 +1,314 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Two registry implementations share one interface:
+
+* :class:`MetricsRegistry` — stores real instruments, keyed by
+  ``(name, labels)``, in registration order.  Callback-backed variants
+  (:meth:`MetricsRegistry.counter_fn` / :meth:`gauge_fn`) read an
+  existing component attribute only when sampled, so instrumenting a
+  component that already keeps plain ``int`` counters adds **zero**
+  per-packet work.
+* :class:`NullRegistry` — every registration returns one shared no-op
+  instrument and stores nothing.  This is the default on every
+  :class:`~repro.sim.engine.Simulator` (``sim.metrics``), which is what
+  makes instrumentation free when observability is off.
+
+Direct instruments (:meth:`counter`, :meth:`gauge`, :meth:`histogram`)
+are for cold paths — lockup transitions, per-fetch latency observations —
+where an increment at event time is the natural fit.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Default histogram bucket upper bounds for millisecond latencies.
+LATENCY_MS_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0)
+
+#: Generic default buckets (powers of four around 1.0).
+DEFAULT_BUCKETS = (0.0625, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_set(labels: Dict[str, Any]) -> LabelSet:
+    """Canonical (sorted, stringified) form of a labels mapping."""
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+class Metric:
+    """Common identity for every instrument kind."""
+
+    __slots__ = ("name", "labels", "kind")
+
+    def __init__(self, name: str, labels: LabelSet, kind: str):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+
+    @property
+    def key(self) -> Tuple[str, LabelSet]:
+        """Registry key: (name, canonical labels)."""
+        return (self.name, self.labels)
+
+    def read(self) -> float:
+        """Current scalar value (sampled by the :class:`Sampler`)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labels = ", ".join(f"{k}={v}" for k, v in self.labels)
+        return f"<{type(self).__name__} {self.name}{{{labels}}}>"
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelSet):
+        super().__init__(name, labels, "counter")
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def read(self) -> float:
+        return self.value
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelSet):
+        super().__init__(name, labels, "gauge")
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (either sign)."""
+        self.value += delta
+
+    def read(self) -> float:
+        return self.value
+
+
+class CallbackMetric(Metric):
+    """A counter or gauge whose value is computed when sampled.
+
+    The callback typically reads a plain attribute a component already
+    maintains (``lambda: port.dropped_frames``), which keeps the
+    component's hot path untouched.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, name: str, labels: LabelSet, kind: str, fn: Callable[[], float]):
+        super().__init__(name, labels, kind)
+        self.fn = fn
+
+    def read(self) -> float:
+        return float(self.fn())
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram of observed values.
+
+    ``buckets`` are upper bounds (inclusive) of each bucket; one overflow
+    bucket catches everything above the last bound.  ``read()`` returns
+    the observation count, so the sampler's time series shows observation
+    *rate*; the full bucket distribution travels in the snapshot.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelSet, buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        super().__init__(name, labels, "histogram")
+        ordered = tuple(float(bound) for bound in buckets)
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {buckets}")
+        self.buckets = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (NaN when empty)."""
+        if self.count == 0:
+            return float("nan")
+        return self.sum / self.count
+
+    def bucket_snapshot(self) -> List[Tuple[Optional[float], int]]:
+        """(upper bound, count) pairs; the overflow bucket's bound is None."""
+        bounds: List[Optional[float]] = list(self.buckets) + [None]
+        return list(zip(bounds, self.counts))
+
+    def read(self) -> float:
+        return float(self.count)
+
+
+class MetricsRegistry:
+    """Holds instruments keyed by (name, labels), in registration order.
+
+    Re-registering the same key returns the existing instrument (so a
+    component rebuilt mid-run keeps accumulating into the same series);
+    re-registering with a different *kind* is a programming error and
+    raises.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: Dict[Tuple[str, LabelSet], Metric] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create a direct counter."""
+        return self._get_or_create(name, labels, "counter", lambda k: Counter(name, k))
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create a direct gauge."""
+        return self._get_or_create(name, labels, "gauge", lambda k: Gauge(name, k))
+
+    def histogram(
+        self, name: str, buckets: Tuple[float, ...] = DEFAULT_BUCKETS, **labels: Any
+    ) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        return self._get_or_create(
+            name, labels, "histogram", lambda k: Histogram(name, k, buckets)
+        )
+
+    def counter_fn(self, name: str, fn: Callable[[], float], **labels: Any) -> CallbackMetric:
+        """Register a counter whose value is read from ``fn`` at sample time."""
+        return self._get_or_create(
+            name, labels, "counter", lambda k: CallbackMetric(name, k, "counter", fn)
+        )
+
+    def gauge_fn(self, name: str, fn: Callable[[], float], **labels: Any) -> CallbackMetric:
+        """Register a gauge whose value is read from ``fn`` at sample time."""
+        return self._get_or_create(
+            name, labels, "gauge", lambda k: CallbackMetric(name, k, "gauge", fn)
+        )
+
+    def _get_or_create(self, name, labels, kind, factory) -> Any:
+        key = (name, _label_set(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}, not {kind}"
+                )
+            return existing
+        metric = factory(key[1])
+        self._metrics[key] = metric
+        return metric
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> List[Metric]:
+        """All instruments, in registration order."""
+        return list(self._metrics.values())
+
+    def get(self, name: str, **labels: Any) -> Optional[Metric]:
+        """Look up one instrument, or None."""
+        return self._metrics.get((name, _label_set(labels)))
+
+    def read_all(self) -> Dict[str, float]:
+        """{rendered name -> current value} for quick assertions."""
+        out = {}
+        for metric in self._metrics.values():
+            labels = ",".join(f"{k}={v}" for k, v in metric.labels)
+            rendered = f"{metric.name}{{{labels}}}" if labels else metric.name
+            out[rendered] = metric.read()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class _NullMetric:
+    """The shared do-nothing instrument returned by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def read(self) -> float:
+        return 0.0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Accepts every registration, stores nothing, measures nothing.
+
+    The singleton :data:`NULL_REGISTRY` is the default ``sim.metrics``:
+    component constructors register unconditionally, and with this
+    registry the registrations are discarded — no lambdas retained, no
+    sampling, no per-event work.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, buckets: Tuple[float, ...] = DEFAULT_BUCKETS, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def counter_fn(self, name: str, fn: Callable[[], float], **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge_fn(self, name: str, fn: Callable[[], float], **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def metrics(self) -> List[Metric]:
+        return []
+
+    def read_all(self) -> Dict[str, float]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The process-wide no-op registry (see :class:`NullRegistry`).
+NULL_REGISTRY = NullRegistry()

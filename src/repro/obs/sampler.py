@@ -1,0 +1,137 @@
+"""Engine-driven periodic sampling of registered metrics.
+
+A :class:`Sampler` is an ordinary simulation process: it schedules itself
+every ``interval`` seconds of *virtual* time and appends ``(now, value)``
+to a series per registered instrument.  Because the kernel executes
+events in deterministic (time, insertion) order and the sampler only
+*reads* component state, enabling it cannot change any experiment
+outcome — tables are byte-identical with sampling on or off.
+
+Instruments registered after the sampler starts (components are built
+while the testbed wires up, apps even later) simply join the series set
+at the next tick, so their series start at the first sample that saw
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Version tag for archived snapshots (see repro.experiments.results).
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class MetricSeries:
+    """One instrument's sampled time series plus its final value."""
+
+    name: str
+    kind: str
+    labels: Dict[str, str] = field(default_factory=dict)
+    #: (sim time, value) samples in time order.
+    points: List[Tuple[float, float]] = field(default_factory=list)
+    #: Value at snapshot time (after the run finished).
+    final: float = 0.0
+    #: Histograms only: (upper bound, count) pairs; None bound = overflow.
+    buckets: Optional[List[Tuple[Optional[float], int]]] = None
+
+    @property
+    def label_text(self) -> str:
+        """Canonical ``k=v,k=v`` rendering of the labels."""
+        return ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+
+
+@dataclass
+class MetricsSnapshot:
+    """Everything one registry measured over one simulation."""
+
+    interval: float
+    series: List[MetricSeries] = field(default_factory=list)
+    schema_version: int = SNAPSHOT_SCHEMA_VERSION
+
+    def find(self, name: str, **labels: str) -> Optional[MetricSeries]:
+        """First series matching ``name`` and every given label."""
+        for entry in self.series:
+            if entry.name != name:
+                continue
+            if all(entry.labels.get(key) == str(value) for key, value in labels.items()):
+                return entry
+        return None
+
+    def names(self) -> List[str]:
+        """Distinct series names, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for entry in self.series:
+            seen.setdefault(entry.name, None)
+        return list(seen)
+
+
+class Sampler:
+    """Snapshots every instrument of a registry on a sim-time interval.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel (anything with ``now`` and ``schedule``).
+    registry:
+        The :class:`~repro.obs.registry.MetricsRegistry` to sample.
+    interval:
+        Virtual seconds between samples.
+    """
+
+    def __init__(self, sim, registry, interval: float):
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval}")
+        self.sim = sim
+        self.registry = registry
+        self.interval = float(interval)
+        self.samples_taken = 0
+        self._series: Dict[tuple, List[Tuple[float, float]]] = {}
+        self._running = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Take an immediate sample and begin periodic ticking."""
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop ticking (already-collected series are kept)."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.sample()
+        self.sim.schedule(self.interval, self._tick)
+
+    def sample(self) -> None:
+        """Record one (time, value) point for every registered instrument."""
+        now = self.sim.now
+        series = self._series
+        for metric in self.registry.metrics():
+            series.setdefault(metric.key, []).append((now, metric.read()))
+        self.samples_taken += 1
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Package the collected series plus final instrument values."""
+        out = MetricsSnapshot(interval=self.interval)
+        for metric in self.registry.metrics():
+            entry = MetricSeries(
+                name=metric.name,
+                kind=metric.kind,
+                labels=dict(metric.labels),
+                points=list(self._series.get(metric.key, [])),
+                final=metric.read(),
+            )
+            bucket_snapshot = getattr(metric, "bucket_snapshot", None)
+            if bucket_snapshot is not None:
+                entry.buckets = bucket_snapshot()
+            out.series.append(entry)
+        return out

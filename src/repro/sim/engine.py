@@ -22,6 +22,7 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional
 
+from repro.obs.registry import NULL_REGISTRY
 from repro.sim.trace import Tracer
 
 
@@ -124,7 +125,9 @@ class Simulator:
         "_pending",
         "_tombstones",
         "events_executed",
+        "events_cancelled",
         "tracer",
+        "metrics",
     )
 
     def __init__(self, start_time: float = 0.0):
@@ -137,9 +140,17 @@ class Simulator:
         #: Cancelled events still sitting in the heap (lazy deletion).
         self._tombstones = 0
         self.events_executed = 0
+        #: Cumulative count of cancellations (tombstone compaction resets
+        #: ``_tombstones`` but never this).
+        self.events_cancelled = 0
         #: Structured trace sink shared by every component built on this
         #: kernel.  Off by default; flip ``tracer.enabled`` to record.
         self.tracer = Tracer(enabled=False)
+        #: Metrics registry shared by every component built on this
+        #: kernel.  The null default discards registrations, so component
+        #: constructors register unconditionally at zero cost; a testbed
+        #: collecting metrics swaps in a real registry before wiring up.
+        self.metrics = NULL_REGISTRY
 
     # ------------------------------------------------------------------
     # Clock
@@ -268,6 +279,7 @@ class Simulator:
         """
         self._pending -= 1
         self._tombstones += 1
+        self.events_cancelled += 1
         heap = self._heap
         if self._tombstones >= _COMPACT_MIN_TOMBSTONES and self._tombstones * 2 > len(heap):
             heap[:] = [event for event in heap if not event.cancelled]

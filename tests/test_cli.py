@@ -10,6 +10,15 @@ from repro.experiments import __main__ as cli
 from repro.experiments import runner
 
 
+def _stub_entry(output="FULL-OUTPUT", quick_output="QUICK-OUTPUT"):
+    """An ExperimentSpec entry following the shared keyword contract."""
+
+    def entry(*, preset=None, progress=None, jobs=None, metrics=None):
+        return quick_output if preset is not None and preset.name == "quick" else output
+
+    return entry
+
+
 class TestCli:
     def test_unknown_id_raises(self):
         with pytest.raises(KeyError):
@@ -22,9 +31,7 @@ class TestCli:
         assert "fig2" in capsys.readouterr().out
 
     def test_single_experiment_via_stubbed_registry(self, monkeypatch, capsys):
-        spec = runner.ExperimentSpec(
-            "stub", "a stub", lambda progress, jobs=None: "FULL-OUTPUT", lambda progress, jobs=None: "QUICK-OUTPUT"
-        )
+        spec = runner.ExperimentSpec("stub", "a stub", _stub_entry())
         monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
         monkeypatch.setattr(cli, "run_experiment_result", runner.run_experiment_result)
         monkeypatch.setattr(cli, "experiment_ids", runner.experiment_ids)
@@ -33,9 +40,7 @@ class TestCli:
         assert "FULL-OUTPUT" in out
 
     def test_quick_flag_selects_quick_runner(self, monkeypatch, capsys):
-        spec = runner.ExperimentSpec(
-            "stub", "a stub", lambda progress, jobs=None: "FULL-OUTPUT", lambda progress, jobs=None: "QUICK-OUTPUT"
-        )
+        spec = runner.ExperimentSpec("stub", "a stub", _stub_entry())
         monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
         monkeypatch.setattr(cli, "run_experiment_result", runner.run_experiment_result)
         monkeypatch.setattr(cli, "experiment_ids", runner.experiment_ids)
@@ -45,7 +50,7 @@ class TestCli:
     def test_all_expands_to_every_experiment(self, monkeypatch, capsys):
         calls = []
 
-        def fake_run(experiment_id, quick=False, progress=None, jobs=None):
+        def fake_run(experiment_id, quick=False, progress=None, jobs=None, metrics=None):
             calls.append(experiment_id)
             return f"ran {experiment_id}"
 
@@ -54,7 +59,7 @@ class TestCli:
         assert calls == runner.experiment_ids()
 
     def test_progress_goes_to_stderr(self, monkeypatch, capsys):
-        def fake_run(experiment_id, quick=False, progress=None, jobs=None):
+        def fake_run(experiment_id, quick=False, progress=None, jobs=None, metrics=None):
             if progress is not None:
                 progress("step one")
             return "output"
@@ -83,7 +88,9 @@ class TestCli:
                 return "STUB-TABLE"
 
         spec = runner.ExperimentSpec(
-            "stub", "a stub", lambda progress, jobs=None: StubResult(), lambda progress, jobs=None: StubResult()
+            "stub",
+            "a stub",
+            lambda *, preset=None, progress=None, jobs=None, metrics=None: StubResult(),
         )
         monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
         monkeypatch.setattr(cli, "run_experiment_result", runner.run_experiment_result)
@@ -93,7 +100,10 @@ class TestCli:
         captured = capsys.readouterr()
         assert "STUB-TABLE" in captured.out
         payload = json.loads((out_dir / "stub.json").read_text())
-        assert payload == {"_type": "StubResult", "value": 7}
+        assert payload == {
+            "schema_version": 1,
+            "result": {"_type": "StubResult", "value": 7},
+        }
 
     def test_render_result_handles_lists_and_strings(self):
         class WithTable:
@@ -106,7 +116,7 @@ class TestCli:
     def test_jobs_flag_reaches_runner(self, monkeypatch, capsys):
         seen = {}
 
-        def fake_run(experiment_id, quick=False, progress=None, jobs=None):
+        def fake_run(experiment_id, quick=False, progress=None, jobs=None, metrics=None):
             seen["jobs"] = jobs
             return "output"
 
@@ -118,7 +128,7 @@ class TestCli:
     def test_jobs_defaults_from_env_var(self, monkeypatch, capsys):
         seen = {}
 
-        def fake_run(experiment_id, quick=False, progress=None, jobs=None):
+        def fake_run(experiment_id, quick=False, progress=None, jobs=None, metrics=None):
             seen["jobs"] = jobs
             return "output"
 
@@ -127,3 +137,18 @@ class TestCli:
         monkeypatch.setenv("REPRO_JOBS", "5")
         assert cli.main(["stub", "--no-progress"]) == 0
         assert seen["jobs"] == 5
+
+
+    def test_metrics_flag_writes_series_files(self, monkeypatch, capsys, tmp_path):
+        import json
+
+        spec = runner.ExperimentSpec("stub", "a stub", _stub_entry())
+        monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
+        monkeypatch.setattr(cli, "run_experiment_result", runner.run_experiment_result)
+        monkeypatch.setattr(cli, "experiment_ids", runner.experiment_ids)
+        out_dir = tmp_path / "metrics"
+        assert cli.main(["stub", "--no-progress", "--metrics", str(out_dir)]) == 0
+        payload = json.loads((out_dir / "stub_metrics.json").read_text())
+        assert payload["schema_version"] == 1
+        assert payload["result"]["_type"] == "ExperimentMetrics"
+        assert (out_dir / "stub_metrics.csv").read_text().startswith("point,run,")

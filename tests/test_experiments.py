@@ -7,10 +7,15 @@ import pytest
 pytestmark = pytest.mark.slow
 
 from repro.core.methodology import MeasurementSettings
-from repro.experiments import experiment_ids, run_experiment
+from repro.experiments import Preset, experiment_ids, run_experiment
 from repro.experiments import ablations, fig2_bandwidth, fig3a_flood, fig3b_minflood, table1_http
 
 TINY = MeasurementSettings(duration=0.3, http_duration=0.6)
+
+
+def tiny(**grid) -> Preset:
+    """A Preset over the TINY measurement windows with the given grid."""
+    return Preset(name="tiny", settings=TINY, **grid)
 
 
 class TestRegistry:
@@ -26,9 +31,7 @@ class TestRegistry:
 
 class TestFig2:
     def test_reduced_run_shapes(self):
-        result = fig2_bandwidth.run(
-            depths=(1, 64), vpg_counts=(1,), settings=TINY
-        )
+        result = fig2_bandwidth.run(preset=tiny(depths=(1, 64), vpg_counts=(1,)))
         assert set(result.series) == {"EFW", "ADF", "iptables", "ADF (VPG)"}
         efw = dict(result.series["EFW"])
         adf = dict(result.series["ADF"])
@@ -39,7 +42,7 @@ class TestFig2:
         assert efw[1] > 85 and adf[1] > 85
 
     def test_table_rendering(self):
-        result = fig2_bandwidth.run(depths=(1,), vpg_counts=(1,), settings=TINY)
+        result = fig2_bandwidth.run(preset=tiny(depths=(1,), vpg_counts=(1,)))
         table = result.table()
         assert "Figure 2" in table
         assert "EFW" in table and "ADF (VPG)" in table
@@ -47,9 +50,7 @@ class TestFig2:
 
 class TestFig3a:
     def test_reduced_run_shapes(self):
-        result = fig3a_flood.run(
-            flood_rates=(0, 50000), settings=TINY, repetitions=1
-        )
+        result = fig3a_flood.run(preset=tiny(flood_rates=(0, 50000), repetitions=1))
         efw = dict(result.series["EFW"])
         none = dict(result.series["No Firewall"])
         # The flood kills the EFW but not the bare NIC.
@@ -57,15 +58,13 @@ class TestFig3a:
         assert none[50000] > 10 * max(efw[50000], 0.1)
 
     def test_table_rendering(self):
-        result = fig3a_flood.run(flood_rates=(0,), settings=TINY, repetitions=1)
+        result = fig3a_flood.run(preset=tiny(flood_rates=(0,), repetitions=1))
         assert "Figure 3a" in result.table()
 
 
 class TestFig3b:
     def test_reduced_run_reports_lockup_for_efw_deny(self):
-        result = fig3b_minflood.run(
-            depths=(64,), settings=TINY, probe_duration=0.3
-        )
+        result = fig3b_minflood.run(preset=tiny(depths=(64,), probe_duration=0.3))
         efw_deny = dict(result.series["EFW (Deny)"])[64]
         assert efw_deny.lockup
         efw_allow = dict(result.series["EFW (Allow)"])[64]
@@ -74,7 +73,7 @@ class TestFig3b:
         assert "LOCKUP" in table
 
     def test_deny_exceeds_allow_for_adf(self):
-        result = fig3b_minflood.run(depths=(64,), settings=TINY, probe_duration=0.3)
+        result = fig3b_minflood.run(preset=tiny(depths=(64,), probe_duration=0.3))
         allow = dict(result.series["ADF (Allow)"])[64]
         deny = dict(result.series["ADF (Deny)"])[64]
         assert deny.rate_pps > allow.rate_pps
@@ -82,7 +81,7 @@ class TestFig3b:
 
 class TestTable1:
     def test_reduced_run_shapes(self):
-        result = table1_http.run(depths=(1, 64), vpg_counts=(1,), settings=TINY)
+        result = table1_http.run(preset=tiny(depths=(1, 64), vpg_counts=(1,)))
         assert result.standard_nic.fetches_per_second > 0
         by_depth = {m.rule_depth: m for m in result.adf_standard}
         assert by_depth[64].fetches_per_second < by_depth[1].fetches_per_second

@@ -1,0 +1,148 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("packets", nic="efw")
+        assert counter.read() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.read() == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("packets")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+
+class TestGauge:
+    def test_set_and_add_both_signs(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.add(-3)
+        gauge.add(1.5)
+        assert gauge.read() == 8.5
+
+
+class TestHistogram:
+    def test_bucket_bounds_are_inclusive_upper(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=(0.5, 1.0))
+        histogram.observe(0.5)   # lands in the 0.5 bucket (inclusive bound)
+        histogram.observe(0.6)   # lands in the 1.0 bucket
+        histogram.observe(99.0)  # overflow
+        snapshot = histogram.bucket_snapshot()
+        assert snapshot == [(0.5, 1), (1.0, 1), (None, 1)]
+        assert histogram.count == 3
+        assert histogram.read() == 3.0
+
+    def test_mean_tracks_observations_and_is_nan_when_empty(self):
+        histogram = MetricsRegistry().histogram("lat")
+        assert math.isnan(histogram.mean)
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        assert histogram.mean == 2.0
+
+    def test_invalid_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("b", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("c", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("packets", nic="efw")
+        second = registry.counter("packets", nic="efw")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_labels_are_order_independent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("packets", a="1", b="2")
+        second = registry.counter("packets", b="2", a="1")
+        assert first is second
+
+    def test_different_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        allowed = registry.counter("packets", verdict="allowed")
+        denied = registry.counter("packets", verdict="denied")
+        assert allowed is not denied
+        assert len(registry) == 2
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("packets")
+        with pytest.raises(ValueError):
+            registry.gauge("packets")
+
+    def test_callback_metrics_read_at_sample_time(self):
+        registry = MetricsRegistry()
+        state = {"dropped": 0}
+        metric = registry.counter_fn("drops", lambda: state["dropped"])
+        assert metric.read() == 0.0
+        state["dropped"] = 7
+        assert metric.read() == 7.0
+
+    def test_read_all_renders_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("plain").inc(2)
+        registry.gauge("depth", queue="q").set(5)
+        values = registry.read_all()
+        assert values["plain"] == 2.0
+        assert values["depth{queue=q}"] == 5.0
+
+    def test_metrics_kept_in_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert [metric.name for metric in registry.metrics()] == ["b", "a"]
+
+
+class TestNullRegistry:
+    def test_registrations_store_nothing(self):
+        registry = NullRegistry()
+        counter = registry.counter("packets", nic="efw")
+        gauge = registry.gauge("depth")
+        histogram = registry.histogram("lat")
+        fn = registry.counter_fn("drops", lambda: 1.0)
+        # Every registration returns the shared no-op instrument.
+        assert counter is gauge is histogram is fn
+        counter.inc()
+        gauge.set(5)
+        histogram.observe(1.0)
+        assert counter.read() == 0.0
+        assert len(registry) == 0
+        assert registry.metrics() == []
+        assert registry.read_all() == {}
+
+    def test_enabled_flags(self):
+        assert MetricsRegistry.enabled is True
+        assert NULL_REGISTRY.enabled is False
+
+    def test_simulator_defaults_to_null_registry(self):
+        from repro.sim.engine import Simulator
+
+        assert Simulator().metrics is NULL_REGISTRY
+
+    def test_default_buckets_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))

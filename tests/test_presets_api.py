@@ -1,0 +1,131 @@
+"""Tests for the shared Preset contract and the unified run API."""
+
+import pytest
+
+from repro.core.methodology import MeasurementSettings
+from repro.experiments import runner
+from repro.experiments.presets import (
+    FULL,
+    QUICK,
+    Preset,
+    preset_for,
+    resolve_preset,
+)
+
+
+class TestPreset:
+    def test_full_defers_every_knob_to_module_defaults(self):
+        assert FULL.name == "full"
+        assert FULL.grid("depths", (1, 2)) == (1, 2)
+        assert isinstance(FULL.measurement(), MeasurementSettings)
+
+    def test_grid_prefers_the_preset_value(self):
+        preset = Preset(name="tiny", depths=(4,))
+        assert preset.grid("depths", (1, 2)) == (4,)
+        assert preset.grid("vpg_counts", (1, 8)) == (1, 8)
+
+    def test_measurement_returns_the_preset_settings(self):
+        settings = MeasurementSettings(duration=0.25)
+        assert Preset(name="t", settings=settings).measurement() is settings
+
+    def test_presets_are_frozen(self):
+        with pytest.raises(Exception):
+            FULL.depths = (9,)
+
+    def test_quick_grids_cover_every_registered_experiment(self):
+        assert set(QUICK) == set(runner.experiment_ids())
+        assert all(preset.name == "quick" for preset in QUICK.values())
+
+
+class TestResolvePreset:
+    def test_none_means_full(self):
+        assert resolve_preset("fig2", None) is FULL
+
+    def test_names_resolve_per_experiment(self):
+        assert resolve_preset("fig2", "full") is FULL
+        assert resolve_preset("fig3a", "quick") is QUICK["fig3a"]
+
+    def test_preset_instances_pass_through(self):
+        preset = Preset(name="custom")
+        assert resolve_preset("fig2", preset) is preset
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            preset_for("fig2", "fast")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_preset("fig2", 3)
+
+
+def _recording_entry(calls):
+    def entry(*, preset, progress=None, jobs=None, metrics=None):
+        calls.append({"preset": preset, "progress": progress, "jobs": jobs, "metrics": metrics})
+        return "ran"
+
+    return entry
+
+
+class TestExperimentSpecRun:
+    def test_run_normalizes_and_forwards_keywords(self):
+        calls = []
+        spec = runner.ExperimentSpec("fig3a", "t", _recording_entry(calls))
+        sentinel_progress = lambda line: None  # noqa: E731
+        sentinel_metrics = object()
+        result = spec.run(
+            preset="quick", progress=sentinel_progress, jobs=3, metrics=sentinel_metrics
+        )
+        assert result == "ran"
+        assert calls == [
+            {
+                "preset": QUICK["fig3a"],
+                "progress": sentinel_progress,
+                "jobs": 3,
+                "metrics": sentinel_metrics,
+            }
+        ]
+
+    def test_run_defaults_to_full(self):
+        calls = []
+        runner.ExperimentSpec("fig2", "t", _recording_entry(calls)).run()
+        assert calls[0]["preset"] is FULL
+
+    def test_deprecated_shims_warn_and_still_run(self):
+        calls = []
+        spec = runner.ExperimentSpec("fig3a", "t", _recording_entry(calls))
+        with pytest.warns(DeprecationWarning, match="run_full is deprecated"):
+            legacy_full = spec.run_full
+        with pytest.warns(DeprecationWarning, match="run_quick is deprecated"):
+            legacy_quick = spec.run_quick
+        assert legacy_full(jobs=2) == "ran"
+        assert legacy_quick() == "ran"
+        assert calls[0]["preset"] is FULL
+        assert calls[0]["jobs"] == 2
+        assert calls[1]["preset"] is QUICK["fig3a"]
+
+    def test_registry_entries_use_module_run_functions(self):
+        for experiment_id, spec in runner.REGISTRY.items():
+            assert spec.experiment_id == experiment_id
+            assert callable(spec.entry)
+
+
+class TestRunExperimentResult:
+    @pytest.fixture()
+    def stub_registry(self, monkeypatch):
+        calls = []
+        spec = runner.ExperimentSpec("stub", "a stub", _recording_entry(calls))
+        monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
+        return calls
+
+    def test_quick_flag_selects_the_quick_preset(self, stub_registry):
+        runner.run_experiment_result("stub", quick=True)
+        assert stub_registry[0]["preset"].name == "quick"
+
+    def test_explicit_preset_wins_over_quick(self, stub_registry):
+        custom = Preset(name="custom", depths=(2,))
+        runner.run_experiment_result("stub", quick=True, preset=custom)
+        assert stub_registry[0]["preset"] is custom
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            runner.run_experiment_result("nope")
