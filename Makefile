@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-all bench bench-quick experiments experiments-quick examples clean
+.PHONY: install test test-slow test-all bench bench-quick bench-equivalence experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -24,6 +24,11 @@ bench:
 # -> BENCH_parallel.json.
 bench-quick:
 	$(PYTHON) benchmarks/parallel_bench.py
+
+# Compiled-vs-linear matcher: byte-identical quick-preset tables plus the
+# deep-rule speedup -> BENCH_equivalence.json (CI runs this).
+bench-equivalence:
+	$(PYTHON) benchmarks/parallel_bench.py fig2 fig3a fig3b table1 --equivalence-only -o BENCH_equivalence.json
 
 experiments:
 	$(PYTHON) -m repro.experiments all

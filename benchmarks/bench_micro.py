@@ -47,10 +47,28 @@ def test_ruleset_evaluation_uncached(benchmark):
     )
 
     def evaluate():
-        return ruleset._evaluate_uncached(packet, Direction.INBOUND)
+        return ruleset.evaluate_linear(packet, Direction.INBOUND)
 
     result = benchmark(evaluate)
     assert result.rules_traversed == 64
+
+
+def test_ruleset_evaluation_compiled(benchmark):
+    """Compiled 64-entry lookup: same verdict and charged depth, no loop."""
+    ruleset = padded_ruleset(
+        64, action_rule=service_rule(Action.ALLOW, IpProtocol.TCP, 5001)
+    )
+    packet = Ipv4Packet(
+        src=Ipv4Address("10.0.0.2"),
+        dst=Ipv4Address("10.0.0.3"),
+        payload=TcpSegment(src_port=40000, dst_port=5001),
+    )
+    classifier = ruleset.compiled_classifier  # compile outside the timing
+    flow = packet.flow()
+
+    result = benchmark(classifier.lookup, flow, Direction.INBOUND)
+    assert result.rules_traversed == 64
+    assert result == ruleset.evaluate_linear(packet, Direction.INBOUND)
 
 
 def test_ruleset_evaluation_cached(benchmark):

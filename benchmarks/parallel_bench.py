@@ -12,12 +12,23 @@ writes a machine-readable summary to ``BENCH_parallel.json``:
         "fig3a": {"serial_s": 12.1, "parallel_s": 3.4, "speedup": 3.56},
         ...
       },
-      "total": {"serial_s": ..., "parallel_s": ..., "speedup": ...}
+      "total": {"serial_s": ..., "parallel_s": ..., "speedup": ...},
+      "compiled": {
+        "equivalence": {"fig3a": {"on_s": ..., "off_s": ..., ...}, ...},
+        "micro_deep_rules": {"32": {...}, "64": {...}}
+      }
     }
 
 The parallel executor derives every sweep point's seed from (base seed,
 point index), so both runs produce identical tables; the script asserts
 that before trusting the timings.
+
+The ``compiled`` section is the compiled-classifier equivalence leg
+(``--equivalence-only`` runs just this, as CI does): each experiment's
+quick preset is rendered with the compiled matcher on and off and the
+outputs must be byte-identical, and a deep-rule micro-benchmark times
+both matchers on rule-sets of depth >= 32 with unique flows (so the
+flow cache cannot absorb the cost) to record the fast-path speedup.
 
 This file is deliberately named ``parallel_bench.py`` (not ``bench_*``)
 so the pytest benchmark suite does not collect it.
@@ -40,6 +51,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.parallel import resolve_jobs
 from repro.experiments import runner
+from repro.firewall.compiled import compiled_enabled, set_compiled_enabled
 from repro.obs import MetricsCollector
 
 
@@ -84,6 +96,102 @@ def _metrics_overhead(experiment_id: str) -> dict:
     }
 
 
+def _compiled_equivalence(ids: List[str], jobs: int) -> dict:
+    """Render each quick preset with the compiled matcher on and off.
+
+    The tables must be byte-identical — the compiled classifier charges
+    the same traversal cost as the linear walk, so only wall-clock may
+    differ.  Raises ``AssertionError`` on any divergence.
+    """
+    results = {}
+    original = compiled_enabled()
+    try:
+        for experiment_id in ids:
+            print(f"== {experiment_id}: compiled matcher on vs off ==", file=sys.stderr)
+            set_compiled_enabled(True)
+            on_s, on_out = _timed_run(experiment_id, jobs)
+            set_compiled_enabled(False)
+            off_s, off_out = _timed_run(experiment_id, jobs)
+            if on_out != off_out:
+                raise AssertionError(
+                    f"{experiment_id}: compiled and linear matchers rendered different tables"
+                )
+            results[experiment_id] = {
+                "on_s": round(on_s, 3),
+                "off_s": round(off_s, 3),
+                "speedup": round(off_s / on_s, 2) if on_s else 0.0,
+                "outputs_identical": True,
+            }
+            print(
+                f"   {experiment_id}: {off_s:.1f}s linear, {on_s:.1f}s compiled "
+                f"({results[experiment_id]['speedup']}x), outputs identical",
+                file=sys.stderr,
+            )
+    finally:
+        set_compiled_enabled(original)
+    return results
+
+
+def _deep_rule_micro(depths=(32, 64), probes: int = 6000) -> dict:
+    """Time both matchers on deep rule-sets with all-unique flows.
+
+    The experiment floods reuse a handful of flows, so the LRU flow
+    cache absorbs most rule walks there; this leg defeats the cache
+    (every probe is a fresh flow) to expose the per-walk cost the
+    compiled classifier removes at depth >= 32.
+    """
+    from repro.firewall.builders import padded_ruleset
+    from repro.firewall.rules import Direction
+    from repro.net.addresses import Ipv4Address
+    from repro.net.packet import Ipv4Packet, TcpSegment
+
+    base = Ipv4Address("10.64.0.1")
+    dst = Ipv4Address("192.0.2.1")
+    packets = [
+        Ipv4Packet(
+            src=base + (index // 1000),
+            dst=dst,
+            payload=TcpSegment(src_port=1024 + index % 60000, dst_port=5001),
+        )
+        for index in range(probes)
+    ]
+    out = {}
+    original = compiled_enabled()
+    try:
+        for depth in depths:
+            verdicts = {}
+            timings = {}
+            for label, enabled in (("compiled", True), ("linear", False)):
+                set_compiled_enabled(enabled)
+                ruleset = padded_ruleset(depth)
+                seen = []
+                start = time.perf_counter()
+                for packet in packets:
+                    result = ruleset.evaluate(packet, Direction.INBOUND)
+                    seen.append((result.action, result.rules_traversed))
+                timings[label] = time.perf_counter() - start
+                verdicts[label] = seen
+            if verdicts["compiled"] != verdicts["linear"]:
+                raise AssertionError(f"depth {depth}: matcher verdicts diverge")
+            out[str(depth)] = {
+                "probes": probes,
+                "compiled_s": round(timings["compiled"], 3),
+                "linear_s": round(timings["linear"], 3),
+                "speedup": round(timings["linear"] / timings["compiled"], 2)
+                if timings["compiled"]
+                else 0.0,
+            }
+            print(
+                f"   depth {depth}: {timings['linear']:.2f}s linear, "
+                f"{timings['compiled']:.2f}s compiled "
+                f"({out[str(depth)]['speedup']}x over {probes} unique flows)",
+                file=sys.stderr,
+            )
+    finally:
+        set_compiled_enabled(original)
+    return out
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -111,6 +219,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip the metrics-collection overhead measurement",
     )
+    parser.add_argument(
+        "--equivalence-only",
+        action="store_true",
+        help=(
+            "run only the compiled-classifier equivalence leg (tables with "
+            "the matcher on vs off, plus the deep-rule micro-benchmark); "
+            "this is what CI runs"
+        ),
+    )
+    parser.add_argument(
+        "--no-compiled-matcher",
+        action="store_true",
+        help="time the serial/parallel legs with the linear matcher instead",
+    )
     args = parser.parse_args(argv)
 
     jobs = resolve_jobs(args.jobs)
@@ -118,6 +240,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     unknown = [i for i in ids if i not in runner.experiment_ids()]
     if unknown:
         parser.error(f"unknown experiment id(s): {', '.join(unknown)}")
+    if args.no_compiled_matcher:
+        set_compiled_enabled(False)
+
+    if args.equivalence_only:
+        payload = {
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "preset": "quick",
+            "compiled": {
+                "equivalence": _compiled_equivalence(ids, jobs),
+                "micro_deep_rules": _deep_rule_micro(),
+            },
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+        return 0
 
     experiments = {}
     total_serial = 0.0
@@ -162,6 +303,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "parallel_s": round(total_parallel, 3),
             "speedup": round(total_serial / total_parallel, 2) if total_parallel else 0.0,
         },
+    }
+    # Equivalence re-runs every preset twice; in the full sweep restrict
+    # it to the paper's four artefacts (--equivalence-only honours the
+    # exact id list instead).
+    artefacts = [i for i in ids if i in ("fig2", "fig3a", "fig3b", "table1")] or ids
+    payload["compiled"] = {
+        "equivalence": _compiled_equivalence(artefacts, jobs),
+        "micro_deep_rules": _deep_rule_micro(),
     }
     if not args.no_metrics_overhead:
         overhead_id = "fig3a" if "fig3a" in ids else ids[0]

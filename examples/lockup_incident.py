@@ -35,15 +35,16 @@ def deny_flood_policy():
             name="deny-flood",
         ),
     )
-    ruleset.append(
-        Rule(
-            action=Action.ALLOW,
-            protocol=IpProtocol.TCP,
-            dst_ports=PortRange.single(5001),
-            symmetric=True,
-            name="allow-monitoring",
+    with ruleset.mutate() as edit:
+        edit.append(
+            Rule(
+                action=Action.ALLOW,
+                protocol=IpProtocol.TCP,
+                dst_ports=PortRange.single(5001),
+                symmetric=True,
+                name="allow-monitoring",
+            )
         )
-    )
     return ruleset
 
 def measure(bed) -> float:

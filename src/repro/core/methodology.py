@@ -191,7 +191,8 @@ class FloodToleranceValidator:
             depth,
             action_rule=self.service_action_rule(self.settings.denied_flood_port, Action.DENY),
         )
-        ruleset.append(self.service_action_rule(self.settings.iperf_port))
+        with ruleset.mutate() as edit:
+            edit.append(self.service_action_rule(self.settings.iperf_port))
         return ruleset
 
     def http_ruleset(self, depth: int):
@@ -382,7 +383,8 @@ class FloodToleranceValidator:
             action=Action.ALLOW, protocol=IpProtocol.ICMP, name="icmp-echo"
         )
         ruleset = padded_ruleset(depth, action_rule=icmp_rule)
-        ruleset.append(self.service_action_rule(self.settings.iperf_port))
+        with ruleset.mutate() as edit:
+            edit.append(self.service_action_rule(self.settings.iperf_port))
         bed.install_target_policy(ruleset)
         if flood_rate_pps > 0:
             # Jittered, not metronomic: realistic inter-packet spacing is

@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR] [--metrics DIR]``."""
+"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR] [--metrics DIR] [--no-compiled-matcher]``."""
 
 from __future__ import annotations
 
@@ -8,6 +8,7 @@ import sys
 import time
 
 from repro.core.parallel import JOBS_ENV_VAR, resolve_jobs
+from repro.firewall.compiled import set_compiled_enabled
 from repro.experiments.figures import plot_result
 from repro.experiments.results import write_json
 from repro.obs import MetricsCollector, write_metrics_csv
@@ -77,7 +78,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="suppress per-measurement progress lines",
     )
+    parser.add_argument(
+        "--no-compiled-matcher",
+        action="store_true",
+        help=(
+            "evaluate rule-sets with the linear reference matcher instead of "
+            "the compiled classifier (slower; results are identical either way)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.no_compiled_matcher:
+        set_compiled_enabled(False)
 
     selected = args.ids
     if "all" in selected:

@@ -17,7 +17,6 @@ result and the series (see :mod:`repro.experiments.results`).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -64,33 +63,6 @@ class ExperimentSpec:
         """Run the experiment and return its raw result object."""
         resolved = resolve_preset(self.experiment_id, preset)
         return self.entry(preset=resolved, progress=progress, jobs=jobs, metrics=metrics)
-
-    # -- deprecated entry points ---------------------------------------
-    # The pre-telemetry API exposed run_full/run_quick callables taking
-    # (progress, jobs).  Kept as shims for external callers; new code
-    # uses spec.run(preset=...).
-
-    @property
-    def run_full(self) -> Callable[..., Any]:
-        warnings.warn(
-            "ExperimentSpec.run_full is deprecated; use spec.run(preset='full')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return lambda progress=None, jobs=None: self.run(
-            preset="full", progress=progress, jobs=jobs
-        )
-
-    @property
-    def run_quick(self) -> Callable[..., Any]:
-        warnings.warn(
-            "ExperimentSpec.run_quick is deprecated; use spec.run(preset='quick')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return lambda progress=None, jobs=None: self.run(
-            preset="quick", progress=progress, jobs=jobs
-        )
 
 
 def render_result(result: Any) -> str:

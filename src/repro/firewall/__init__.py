@@ -7,6 +7,12 @@ what it costs — the central subject of the paper.
 """
 
 from repro.firewall.anomalies import Anomaly, AnomalyKind, analyze, shadowed_rules
+from repro.firewall.compiled import (
+    ClassifierStats,
+    CompiledClassifier,
+    compiled_enabled,
+    set_compiled_enabled,
+)
 from repro.firewall.builders import (
     allow_all,
     deny_all,
@@ -39,13 +45,15 @@ from repro.firewall.rules import (
     Rule,
     VpgRule,
 )
-from repro.firewall.ruleset import MatchResult, RuleSet
+from repro.firewall.ruleset import MatchResult, RuleSet, RuleSetMutation
 
 __all__ = [
     "Action",
     "AddressPattern",
     "Anomaly",
     "AnomalyKind",
+    "ClassifierStats",
+    "CompiledClassifier",
     "ConnState",
     "ConnectionTracker",
     "StatefulIptablesFilter",
@@ -55,9 +63,12 @@ __all__ = [
     "PortRange",
     "Rule",
     "RuleSet",
+    "RuleSetMutation",
     "VpgRule",
     "allow_all",
     "analyze",
+    "compiled_enabled",
+    "set_compiled_enabled",
     "deny_all",
     "oracle_ruleset",
     "padded_ruleset",

@@ -70,6 +70,27 @@ class IptablesFilter:
         self.accepted_out = 0
         self.dropped_out = 0
         self.dropped_backlog = 0
+        # Compiled-classifier health across both chains (callback-backed,
+        # free per packet; see repro.firewall.compiled).
+        metrics = sim.metrics
+        metrics.counter_fn(
+            "fw_compiled_compiles",
+            lambda: self.input_chain.compiled_stats.compiles
+            + self.output_chain.compiled_stats.compiles,
+            component="iptables",
+        )
+        metrics.counter_fn(
+            "fw_compiled_hits",
+            lambda: self.input_chain.compiled_stats.hits
+            + self.output_chain.compiled_stats.hits,
+            component="iptables",
+        )
+        metrics.counter_fn(
+            "fw_compiled_fallbacks",
+            lambda: self.input_chain.compiled_stats.fallbacks
+            + self.output_chain.compiled_stats.fallbacks,
+            component="iptables",
+        )
 
     def bind_host(self, host) -> None:
         """Called by :meth:`repro.host.Host.install_iptables`."""

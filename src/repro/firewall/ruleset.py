@@ -5,13 +5,33 @@ rule-table entries examined up to and including the matching rule — which
 is exactly the quantity the paper's cost model depends on ("when we refer
 to rule-set length (or depth) we are technically referring to the number
 of rules up to and including the action rule").
+
+Evaluation has two equivalent engines:
+
+* the **linear reference matcher** (:meth:`RuleSet.evaluate_linear`),
+  a straight first-match walk mirroring what the real cards do, and
+* the **compiled fast path** (:mod:`repro.firewall.compiled`), a
+  field-indexed structure returning the same verdict and the same
+  *charged* ``rules_traversed`` without the per-packet rule loop.
+
+The fast path is on by default and can be disabled globally
+(``--no-compiled-matcher`` / ``REPRO_NO_COMPILED_MATCHER``); simulation
+outcomes are bit-identical either way, only host wall-clock differs.
+
+Mutation goes through one place: :meth:`RuleSet.mutate` opens a
+:class:`RuleSetMutation` batch whose commit bumps the rule-set version
+and invalidates both the flow cache and the compiled classifier —
+``append``/``insert``/``remove`` survive as deprecated thin wrappers for
+one release.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
+from repro.firewall.compiled import ClassifierStats, CompiledClassifier, compiled_enabled
 from repro.firewall.rules import Action, Direction, Rule, VpgRule
 from repro.net.packet import Ipv4Packet
 
@@ -34,6 +54,77 @@ class MatchResult:
     def allowed(self) -> bool:
         """True for an ALLOW verdict."""
         return self.action == Action.ALLOW
+
+
+class RuleSetMutation:
+    """A batched edit of a rule-set's rules.
+
+    Obtained from :meth:`RuleSet.mutate`; used as a context manager::
+
+        with ruleset.mutate() as edit:
+            edit.append(monitoring_rule)
+            edit.insert(0, deny_attacker)
+
+    Edits are staged on a private copy and committed atomically when the
+    block exits cleanly — which is the **single** point where the flow
+    cache and the compiled classifier are invalidated and the rule-set
+    version advances.  An exception inside the block abandons the edit.
+    """
+
+    __slots__ = ("_ruleset", "_rules", "_committed")
+
+    def __init__(self, ruleset: "RuleSet"):
+        self._ruleset = ruleset
+        self._rules: List[Rule] = list(ruleset._rules)
+        self._committed = False
+
+    # -- staged edits ---------------------------------------------------
+
+    def append(self, rule: Rule) -> "RuleSetMutation":
+        """Add a rule at the end (lowest priority before the default)."""
+        self._rules.append(rule)
+        return self
+
+    def extend(self, rules: Iterable[Rule]) -> "RuleSetMutation":
+        """Append several rules in order."""
+        self._rules.extend(rules)
+        return self
+
+    def insert(self, index: int, rule: Rule) -> "RuleSetMutation":
+        """Insert a rule at ``index`` (0 = highest priority)."""
+        self._rules.insert(index, rule)
+        return self
+
+    def remove(self, rule: Rule) -> "RuleSetMutation":
+        """Remove the first occurrence of ``rule``."""
+        self._rules.remove(rule)
+        return self
+
+    def clear(self) -> "RuleSetMutation":
+        """Drop every rule (the default action then decides everything)."""
+        del self._rules[:]
+        return self
+
+    def replace(self, rules: Iterable[Rule]) -> "RuleSetMutation":
+        """Replace the whole rule list."""
+        self._rules = list(rules)
+        return self
+
+    # -- lifecycle ------------------------------------------------------
+
+    def commit(self) -> None:
+        """Apply the staged edits (idempotent; the context manager calls it)."""
+        if self._committed:
+            return
+        self._committed = True
+        self._ruleset._apply_mutation(self._rules)
+
+    def __enter__(self) -> "RuleSetMutation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
 
 
 class RuleSet:
@@ -68,25 +159,62 @@ class RuleSet:
         # evicts its own one-shot flows instead of locking out the
         # long-lived legitimate ones.
         self._flow_cache: dict = {}
+        # Compiled fast path, built lazily on the first uncached
+        # evaluation and dropped by _apply_mutation.
+        self._compiled: Optional[CompiledClassifier] = None
+        self._version = 0
+        self.compiled_stats = ClassifierStats()
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
 
-    def append(self, rule: Rule) -> None:
-        """Add a rule at the end (lowest priority before the default)."""
-        self._rules.append(rule)
+    def mutate(self) -> RuleSetMutation:
+        """Open a batched edit; see :class:`RuleSetMutation`."""
+        return RuleSetMutation(self)
+
+    def _apply_mutation(self, rules: List[Rule]) -> None:
+        """Commit point for every mutation: swap rules, invalidate caches."""
+        self._rules = rules
+        self._version += 1
         self._flow_cache.clear()
+        self._compiled = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumps once per committed batch)."""
+        return self._version
+
+    # -- deprecated single-shot mutators --------------------------------
+    # Pre-compiled-classifier API; each call paid a full cache flush, and
+    # invalidation logic was duplicated per method.  Kept as warning thin
+    # wrappers for one release; new code batches edits through mutate().
+
+    def append(self, rule: Rule) -> None:
+        """Deprecated: use ``with ruleset.mutate() as edit: edit.append(...)``."""
+        self._warn_deprecated("append")
+        with self.mutate() as edit:
+            edit.append(rule)
 
     def insert(self, index: int, rule: Rule) -> None:
-        """Insert a rule at ``index`` (0 = highest priority)."""
-        self._rules.insert(index, rule)
-        self._flow_cache.clear()
+        """Deprecated: use ``with ruleset.mutate() as edit: edit.insert(...)``."""
+        self._warn_deprecated("insert")
+        with self.mutate() as edit:
+            edit.insert(index, rule)
 
     def remove(self, rule: Rule) -> None:
-        """Remove the first occurrence of ``rule``."""
-        self._rules.remove(rule)
-        self._flow_cache.clear()
+        """Deprecated: use ``with ruleset.mutate() as edit: edit.remove(...)``."""
+        self._warn_deprecated("remove")
+        with self.mutate() as edit:
+            edit.remove(rule)
+
+    @staticmethod
+    def _warn_deprecated(method: str) -> None:
+        warnings.warn(
+            f"RuleSet.{method} is deprecated; batch edits through RuleSet.mutate()",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------
     # Inspection
@@ -117,21 +245,69 @@ class RuleSet:
                 return depth
         raise ValueError("rule not in rule-set")
 
+    @property
+    def compiled_classifier(self) -> CompiledClassifier:
+        """The compiled fast-path structure (built on demand).
+
+        Exposed for the equivalence tests and tooling; normal evaluation
+        goes through :meth:`evaluate` / :meth:`evaluate_encrypted`.
+        """
+        compiled = self._compiled
+        if compiled is None:
+            compiled = self._compiled = self._compile()
+        return compiled
+
+    def _compile(self) -> CompiledClassifier:
+        """Build the compiled classifier with precomputed charged depths."""
+        results: List[MatchResult] = []
+        depth = 0
+        for rule in self._rules:
+            depth += rule.rule_cost
+            results.append(
+                MatchResult(
+                    action=rule.action,
+                    rules_traversed=depth,
+                    rule=rule,
+                    is_vpg=isinstance(rule, VpgRule),
+                )
+            )
+        default_result = MatchResult(
+            action=self.default_action,
+            rules_traversed=max(depth, 1),
+            rule=None,
+        )
+        self.compiled_stats.compiles += 1
+        return CompiledClassifier(self._rules, results, default_result)
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
 
     def evaluate(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
         """First-match evaluation of a plaintext packet."""
-        cache_key = (packet.flow(), direction)
+        flow = packet.flow()
+        cache_key = (flow, direction)
         cache = self._flow_cache
         cached = cache.pop(cache_key, None)
         if cached is not None:
             cache[cache_key] = cached  # re-insert at the MRU end
             return cached
-        result = self._evaluate_uncached(packet, direction)
+        if compiled_enabled():
+            result = self.compiled_classifier.lookup(flow, direction)
+            self.compiled_stats.hits += 1
+        else:
+            result = self._evaluate_linear(packet, direction)
+            self.compiled_stats.fallbacks += 1
         self._cache_store(cache_key, result)
         return result
+
+    def evaluate_linear(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
+        """The linear reference matcher (uncached, compiled path bypassed).
+
+        This is the walk the real cards perform and the ground truth the
+        compiled classifier is differentially tested against.
+        """
+        return self._evaluate_linear(packet, direction)
 
     def _cache_store(self, cache_key, result: MatchResult) -> None:
         """Insert into the flow cache, evicting the LRU entry when full."""
@@ -143,7 +319,7 @@ class RuleSet:
             del cache[next(iter(cache))]
         cache[cache_key] = result
 
-    def _evaluate_uncached(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
+    def _evaluate_linear(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
         traversed = 0
         for rule in self._rules:
             traversed += rule.rule_cost
@@ -174,25 +350,35 @@ class RuleSet:
         if cached is not None:
             cache[cache_key] = cached  # re-insert at the MRU end
             return cached
+        if compiled_enabled():
+            result = self.compiled_classifier.lookup_encrypted(spi)
+            self.compiled_stats.hits += 1
+        else:
+            result = self._evaluate_encrypted_linear(spi)
+            self.compiled_stats.fallbacks += 1
+        self._cache_store(cache_key, result)
+        return result
+
+    def evaluate_encrypted_linear(self, spi: int) -> MatchResult:
+        """Linear reference walk for encrypted VPG packets (uncached)."""
+        return self._evaluate_encrypted_linear(spi)
+
+    def _evaluate_encrypted_linear(self, spi: int) -> MatchResult:
         traversed = 0
         for rule in self._rules:
             traversed += rule.rule_cost
             if isinstance(rule, VpgRule) and rule.matches_encrypted(spi):
-                result = MatchResult(
+                return MatchResult(
                     action=rule.action,
                     rules_traversed=traversed,
                     rule=rule,
                     is_vpg=True,
                 )
-                self._cache_store(cache_key, result)
-                return result
-        result = MatchResult(
+        return MatchResult(
             action=self.default_action,
             rules_traversed=max(traversed, 1),
             rule=None,
         )
-        self._cache_store(cache_key, result)
-        return result
 
     def find_vpg_for_packet(self, packet: Ipv4Packet) -> Optional[MatchResult]:
         """Egress-side lookup: does a VPG rule protect this plaintext flow?

@@ -163,7 +163,10 @@ class TestRulesetEdges:
         assert result.allowed
         assert result.rules_traversed == 1  # charged at least one entry
 
-    def test_flow_cache_bounded(self):
+    def test_flow_cache_bounded(self, linear_matcher):
+        # Runs on the linear matcher: it builds a fresh MatchResult per
+        # walk, so object identity distinguishes cached from recomputed
+        # (the compiled path returns shared per-rule results either way).
         from repro.firewall.builders import allow_all
         from repro.firewall.rules import Direction
         from repro.net.packet import TcpSegment
@@ -188,7 +191,14 @@ class TestFlowCacheLru:
     including long-lived legitimate ones — paid the uncached rule walk
     forever.  The cache is now a bounded LRU: one-shot flood flows evict
     each other while hot flows stay resident.
+
+    These run on the linear matcher so object identity distinguishes a
+    cache hit from a recomputed walk (see the ``linear_matcher`` fixture).
     """
+
+    @pytest.fixture(autouse=True)
+    def _linear(self, linear_matcher):
+        yield
 
     @staticmethod
     def _packet(src_port):

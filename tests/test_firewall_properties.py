@@ -60,7 +60,7 @@ class TestMatcherProperties:
         # The memoised evaluation must agree with the uncached walk.
         ruleset = RuleSet(rule_list)
         cached = ruleset.evaluate(packet, direction)
-        fresh = ruleset._evaluate_uncached(packet, direction)
+        fresh = ruleset.evaluate_linear(packet, direction)
         assert cached.action == fresh.action
         assert cached.rules_traversed == fresh.rules_traversed
         assert cached.rule is fresh.rule
@@ -127,7 +127,8 @@ class TestMatcherProperties:
         if non_matching.matches(packet, direction):
             return  # astronomically unlikely, but guard anyway
         position = min(insert_at, len(rule_list))
-        ruleset.insert(position, non_matching)
+        with ruleset.mutate() as edit:
+            edit.insert(position, non_matching)
         after = ruleset.evaluate(packet, direction)
         assert after.action == before.action
         assert after.rule is before.rule

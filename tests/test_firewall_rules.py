@@ -214,10 +214,45 @@ class TestRuleSetEvaluation:
         ruleset = RuleSet([Rule(action=Action.ALLOW)], default_action=Action.DENY)
         packet = tcp_packet()
         assert ruleset.evaluate(packet, Direction.INBOUND).allowed
-        ruleset.insert(0, Rule(action=Action.DENY, protocol=IpProtocol.TCP))
+        with ruleset.mutate() as edit:
+            edit.insert(0, Rule(action=Action.DENY, protocol=IpProtocol.TCP))
         assert not ruleset.evaluate(packet, Direction.INBOUND).allowed
-        ruleset.remove(ruleset.rules[0])
+        with ruleset.mutate() as edit:
+            edit.remove(ruleset.rules[0])
         assert ruleset.evaluate(packet, Direction.INBOUND).allowed
+
+    def test_mutation_batch_commits_once_and_bumps_version(self):
+        ruleset = RuleSet([], default_action=Action.DENY)
+        assert ruleset.version == 0
+        with ruleset.mutate() as edit:
+            edit.append(Rule(action=Action.ALLOW, protocol=IpProtocol.TCP))
+            edit.append(Rule(action=Action.DENY))
+            assert len(ruleset) == 0  # staged, not yet visible
+        assert len(ruleset) == 2
+        assert ruleset.version == 1
+
+    def test_mutation_abandoned_on_exception(self):
+        ruleset = RuleSet([Rule(action=Action.ALLOW)])
+        with pytest.raises(RuntimeError):
+            with ruleset.mutate() as edit:
+                edit.clear()
+                raise RuntimeError("boom")
+        assert len(ruleset) == 1
+        assert ruleset.version == 0
+
+    def test_deprecated_mutators_warn_and_still_invalidate(self):
+        ruleset = RuleSet([Rule(action=Action.ALLOW)], default_action=Action.DENY)
+        packet = tcp_packet()
+        assert ruleset.evaluate(packet, Direction.INBOUND).allowed
+        with pytest.warns(DeprecationWarning, match="RuleSet.insert is deprecated"):
+            ruleset.insert(0, Rule(action=Action.DENY, protocol=IpProtocol.TCP))
+        assert not ruleset.evaluate(packet, Direction.INBOUND).allowed
+        with pytest.warns(DeprecationWarning, match="RuleSet.remove is deprecated"):
+            ruleset.remove(ruleset.rules[0])
+        assert ruleset.evaluate(packet, Direction.INBOUND).allowed
+        with pytest.warns(DeprecationWarning, match="RuleSet.append is deprecated"):
+            ruleset.append(Rule(action=Action.DENY))
+        assert ruleset.version == 3
 
     def test_cached_result_identical_to_fresh(self):
         ruleset = RuleSet([Rule(action=Action.ALLOW, protocol=IpProtocol.TCP)])

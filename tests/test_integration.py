@@ -63,14 +63,15 @@ class TestDosStory:
                 symmetric=True,
             ),
         )
-        ruleset.append(
-            Rule(
-                action=Action.ALLOW,
-                protocol=IpProtocol.TCP,
-                dst_ports=PortRange.single(5001),
-                symmetric=True,
+        with ruleset.mutate() as edit:
+            edit.append(
+                Rule(
+                    action=Action.ALLOW,
+                    protocol=IpProtocol.TCP,
+                    dst_ports=PortRange.single(5001),
+                    symmetric=True,
+                )
             )
-        )
         bed.install_target_policy(ruleset)
         IperfServer(bed.target)
 
@@ -110,18 +111,18 @@ class TestSpoofingStory:
                 symmetric=True,
             )
             ruleset = padded_ruleset(1, action_rule=deny_attacker)
-            for index in range(30):
-                from repro.firewall.builders import padding_rule
+            from repro.firewall.builders import padding_rule
 
-                ruleset.append(padding_rule(100 + index))
-            ruleset.append(
-                Rule(
-                    action=Action.ALLOW,
-                    protocol=IpProtocol.TCP,
-                    dst_ports=PortRange.single(5001),
-                    symmetric=True,
+            with ruleset.mutate() as edit:
+                edit.extend(padding_rule(100 + index) for index in range(30))
+                edit.append(
+                    Rule(
+                        action=Action.ALLOW,
+                        protocol=IpProtocol.TCP,
+                        dst_ports=PortRange.single(5001),
+                        symmetric=True,
+                    )
                 )
-            )
             bed.install_target_policy(ruleset)
             IperfServer(bed.target)
             flood = FloodGenerator(bed.attacker, spec)
@@ -195,15 +196,16 @@ class TestOraclePolicyStory:
         ruleset = oracle_ruleset(bed.target.ip)
         # Append the iperf measurement rule (administrators would allow
         # their measurement service too).
-        ruleset.insert(
-            len(ruleset.rules) - 1,
-            Rule(
-                action=Action.ALLOW,
-                protocol=IpProtocol.TCP,
-                dst_ports=PortRange.single(5001),
-                symmetric=True,
-            ),
-        )
+        with ruleset.mutate() as edit:
+            edit.insert(
+                len(ruleset.rules) - 1,
+                Rule(
+                    action=Action.ALLOW,
+                    protocol=IpProtocol.TCP,
+                    dst_ports=PortRange.single(5001),
+                    symmetric=True,
+                ),
+            )
         assert ruleset.table_size >= 31
         bed.install_target_policy(ruleset)
         IperfServer(bed.target)

@@ -90,18 +90,12 @@ class TestExperimentSpecRun:
         runner.ExperimentSpec("fig2", "t", _recording_entry(calls)).run()
         assert calls[0]["preset"] is FULL
 
-    def test_deprecated_shims_warn_and_still_run(self):
-        calls = []
-        spec = runner.ExperimentSpec("fig3a", "t", _recording_entry(calls))
-        with pytest.warns(DeprecationWarning, match="run_full is deprecated"):
-            legacy_full = spec.run_full
-        with pytest.warns(DeprecationWarning, match="run_quick is deprecated"):
-            legacy_quick = spec.run_quick
-        assert legacy_full(jobs=2) == "ran"
-        assert legacy_quick() == "ran"
-        assert calls[0]["preset"] is FULL
-        assert calls[0]["jobs"] == 2
-        assert calls[1]["preset"] is QUICK["fig3a"]
+    def test_deprecated_shims_are_gone(self):
+        # run_full/run_quick were removed once every caller migrated to
+        # run(preset=...); they must not silently reappear.
+        spec = runner.ExperimentSpec("fig3a", "t", _recording_entry([]))
+        assert not hasattr(spec, "run_full")
+        assert not hasattr(spec, "run_quick")
 
     def test_registry_entries_use_module_run_functions(self):
         for experiment_id, spec in runner.REGISTRY.items():
