@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-all bench bench-quick bench-equivalence experiments experiments-quick examples clean
+.PHONY: install test test-slow test-all bench bench-quick bench-equivalence bench-trace experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -29,6 +29,13 @@ bench-quick:
 # deep-rule speedup -> BENCH_equivalence.json (CI runs this).
 bench-equivalence:
 	$(PYTHON) benchmarks/parallel_bench.py fig2 fig3a fig3b table1 --equivalence-only -o BENCH_equivalence.json
+
+# Tracing overhead on the fig2 quick preset: disabled vs sampled vs full,
+# identical tables required; merged into BENCH_parallel.json.  Fails when
+# the *disabled* tracer costs >3% over the recorded pre-tracing baseline
+# (CI runs this).
+bench-trace:
+	$(PYTHON) benchmarks/parallel_bench.py fig2 --trace-overhead-only --fail-overhead-above 3
 
 experiments:
 	$(PYTHON) -m repro.experiments all

@@ -16,12 +16,24 @@ writes a machine-readable summary to ``BENCH_parallel.json``:
       "compiled": {
         "equivalence": {"fig3a": {"on_s": ..., "off_s": ..., ...}, ...},
         "micro_deep_rules": {"32": {...}, "64": {...}}
+      },
+      "trace_overhead": {
+        "experiment": "fig2", "off_s": ..., "sampled_s": ..., "full_s": ...,
+        "disabled_overhead_pct": ...
       }
     }
 
 The parallel executor derives every sweep point's seed from (base seed,
 point index), so both runs produce identical tables; the script asserts
 that before trusting the timings.
+
+The ``trace_overhead`` section times one quick preset with the packet
+tracer disabled, sampled (every 64th packet + flight recorder), and
+full-on; the three tables must be identical, and the disabled-tracer
+time is diffed against the recorded pre-tracing baseline.
+``--trace-overhead-only`` runs just this leg and merges it into the
+output file, and ``--fail-overhead-above 3`` turns it into the gate
+``make bench-trace`` and CI enforce.
 
 The ``compiled`` section is the compiled-classifier equivalence leg
 (``--equivalence-only`` runs just this, as CI does): each experiment's
@@ -52,14 +64,23 @@ from typing import List, Optional, Tuple
 from repro.core.parallel import resolve_jobs
 from repro.experiments import runner
 from repro.firewall.compiled import compiled_enabled, set_compiled_enabled
-from repro.obs import MetricsCollector
+from repro.obs import MetricsCollector, TraceCollector, TraceConfig
+
+#: fig2 quick, jobs=1, on the reference container *before* the tracing
+#: subsystem landed — the ``serial_s`` recorded for fig2 in
+#: ``BENCH_parallel.json`` at that commit.  The bench-trace gate diffs
+#: today's disabled-tracer time against this; re-record it when moving
+#: to different hardware (check out the last pre-tracing commit, run
+#: ``parallel_bench.py fig2 --no-metrics-overhead`` three times, keep
+#: the best ``serial_s``) or override with ``--baseline-serial``.
+PRE_TRACE_BASELINE_S = {"fig2": 7.585}
 
 
-def _timed_run(experiment_id: str, jobs: int, metrics=None) -> Tuple[float, str]:
+def _timed_run(experiment_id: str, jobs: int, metrics=None, trace=None) -> Tuple[float, str]:
     """Run one quick preset; return (wall-clock seconds, rendered output)."""
     start = time.perf_counter()
     result = runner.run_experiment_result(
-        experiment_id, quick=True, jobs=jobs, metrics=metrics
+        experiment_id, quick=True, jobs=jobs, metrics=metrics, trace=trace
     )
     elapsed = time.perf_counter() - start
     return elapsed, runner.render_result(result)
@@ -94,6 +115,93 @@ def _metrics_overhead(experiment_id: str) -> dict:
         "samples": samples,
         "outputs_identical": True,
     }
+
+
+def _trace_overhead(
+    experiment_id: str, runs: int = 3, baseline: Optional[float] = None
+) -> dict:
+    """Cost of the tracing subsystem on one quick preset, per mode.
+
+    Three modes: tracer compiled in but *disabled* (the default for every
+    other timing in this file), *sampled* (every 64th packet traced plus
+    the flight recorder), and *full* (every packet).  Each mode is timed
+    ``runs`` times and the best run kept — shared-container jitter easily
+    exceeds the effect being measured otherwise.  The rendered tables
+    must be byte-identical across the three modes: tracing is observation
+    only and must never change a result.
+
+    ``disabled_overhead_pct`` diffs the disabled-tracer time against
+    ``PRE_TRACE_BASELINE_S`` (same preset, same container, pre-tracing
+    code) — the null-tracer hot-path budget is <= 3 %, enforced by
+    ``--fail-overhead-above`` (``make bench-trace`` / CI).
+    """
+    if baseline is None:
+        baseline = PRE_TRACE_BASELINE_S.get(experiment_id)
+    modes = (
+        ("off", None),
+        ("sampled", TraceConfig(sample_every=64, flight=True)),
+        ("full", TraceConfig(sample_every=1, flight=True)),
+    )
+    timings = {}
+    outputs = {}
+    records = {}
+    for label, config in modes:
+        print(
+            f"== {experiment_id}: tracing {label}, best of {runs} ==", file=sys.stderr
+        )
+        best = None
+        for _ in range(runs):
+            collector = TraceCollector(config) if config is not None else None
+            elapsed, out = _timed_run(experiment_id, 1, trace=collector)
+            best = elapsed if best is None else min(best, elapsed)
+        timings[label] = best
+        outputs[label] = out
+        if collector is not None:
+            snapshots = [
+                snapshot for point in collector.points for snapshot in point.snapshots
+            ]
+            records[label] = {
+                "traces": sum(s.traces_started for s in snapshots),
+                "spans": sum(len(s.spans) for s in snapshots),
+                "events": sum(len(s.events) for s in snapshots),
+                "incidents": len(collector.incidents()),
+            }
+    if not (outputs["off"] == outputs["sampled"] == outputs["full"]):
+        raise AssertionError(f"{experiment_id}: tracing changed the rendered table")
+    off = timings["off"]
+    result = {
+        "experiment": experiment_id,
+        "runs_per_mode": runs,
+        "off_s": round(off, 3),
+        "sampled_s": round(timings["sampled"], 3),
+        "full_s": round(timings["full"], 3),
+        "sampled_overhead_pct": round(100.0 * (timings["sampled"] - off) / off, 1)
+        if off
+        else 0.0,
+        "full_overhead_pct": round(100.0 * (timings["full"] - off) / off, 1)
+        if off
+        else 0.0,
+        "sampled_records": records["sampled"],
+        "full_records": records["full"],
+        "outputs_identical": True,
+    }
+    if baseline is not None:
+        result["baseline_serial_s"] = baseline
+        result["disabled_overhead_pct"] = round(100.0 * (off - baseline) / baseline, 1)
+    for label in ("off", "sampled", "full"):
+        extra = ""
+        if label != "off":
+            extra = (
+                f" (+{result[label + '_overhead_pct']}%, "
+                f"{records[label]['spans']} spans)"
+            )
+        elif baseline is not None:
+            extra = (
+                f" ({result['disabled_overhead_pct']:+}% vs pre-trace "
+                f"baseline {baseline}s)"
+            )
+        print(f"   {label}: {timings[label]:.2f}s{extra}", file=sys.stderr)
+    return result
 
 
 def _compiled_equivalence(ids: List[str], jobs: int) -> dict:
@@ -192,6 +300,32 @@ def _deep_rule_micro(depths=(32, 64), probes: int = 6000) -> dict:
     return out
 
 
+def _check_overhead_gate(overhead: dict, limit: Optional[float]) -> int:
+    """Enforce ``--fail-overhead-above`` on a trace-overhead result."""
+    if limit is None:
+        return 0
+    pct = overhead.get("disabled_overhead_pct")
+    if pct is None:
+        print(
+            "ERROR: --fail-overhead-above needs a pre-tracing baseline "
+            "(none recorded for this preset; pass --baseline-serial)",
+            file=sys.stderr,
+        )
+        return 1
+    if pct > limit:
+        print(
+            f"ERROR: disabled-tracer overhead {pct}% exceeds the "
+            f"{limit}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"disabled-tracer overhead {pct}% within the {limit}% budget",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -233,6 +367,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="time the serial/parallel legs with the linear matcher instead",
     )
+    parser.add_argument(
+        "--no-trace-overhead",
+        action="store_true",
+        help="skip the tracing-overhead measurement in the full sweep",
+    )
+    parser.add_argument(
+        "--trace-overhead-only",
+        action="store_true",
+        help=(
+            "run only the tracing-overhead leg (disabled vs sampled vs "
+            "full tracing on one quick preset, identical tables required) "
+            "and merge it into the output JSON; this is what bench-trace "
+            "and CI run"
+        ),
+    )
+    parser.add_argument(
+        "--trace-runs",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timing repetitions per tracing mode; the best run is kept "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline-serial",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="pre-tracing serial wall-clock to diff the disabled tracer "
+        "against (default: the recorded reference-container value)",
+    )
+    parser.add_argument(
+        "--fail-overhead-above",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero when the disabled-tracer overhead exceeds "
+        "this percentage (requires a recorded or given baseline)",
+    )
     args = parser.parse_args(argv)
 
     jobs = resolve_jobs(args.jobs)
@@ -242,6 +415,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown experiment id(s): {', '.join(unknown)}")
     if args.no_compiled_matcher:
         set_compiled_enabled(False)
+
+    if args.trace_overhead_only:
+        overhead_id = args.experiments[0] if args.experiments else "fig2"
+        overhead = _trace_overhead(
+            overhead_id, runs=args.trace_runs, baseline=args.baseline_serial
+        )
+        # Merge into an existing summary rather than clobbering the other
+        # legs' numbers; start a fresh payload when none exists.
+        try:
+            with open(args.output) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {
+                "jobs": jobs,
+                "cpu_count": os.cpu_count(),
+                "python": platform.python_version(),
+                "preset": "quick",
+            }
+        payload["trace_overhead"] = overhead
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+        return _check_overhead_gate(overhead, args.fail_overhead_above)
 
     if args.equivalence_only:
         payload = {
@@ -321,11 +518,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({payload['metrics_overhead']['samples']} samples)",
             file=sys.stderr,
         )
+    gate = 0
+    if not args.no_trace_overhead:
+        trace_id = "fig2" if "fig2" in ids else ids[0]
+        payload["trace_overhead"] = _trace_overhead(
+            trace_id, runs=args.trace_runs, baseline=args.baseline_serial
+        )
+        gate = _check_overhead_gate(
+            payload["trace_overhead"], args.fail_overhead_above
+        )
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.output}", file=sys.stderr)
-    return 0
+    return gate
 
 
 if __name__ == "__main__":

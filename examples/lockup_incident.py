@@ -22,6 +22,7 @@ from repro.apps.iperf import IperfClient, IperfServer
 from repro.core.testbed import DeviceKind, Testbed
 from repro.firewall import Action, PortRange, Rule, padded_ruleset
 from repro.net.packet import IpProtocol
+from repro.obs.tracing import arm_tracing
 
 def deny_flood_policy():
     """Deny the flood port at depth 8; allow the monitoring service after."""
@@ -56,6 +57,10 @@ def timeline(lockup_enabled: bool) -> None:
     label = "stock firmware" if lockup_enabled else "patched firmware (ablation)"
     print(f"--- Incident replay: {label} ---")
     bed = Testbed(device=DeviceKind.EFW, efw_lockup_enabled=lockup_enabled)
+    # Sample only every 10,000th packet: we want the lockup/agent-restart
+    # *events* on the record (always captured while tracing is on), not a
+    # full span stream.
+    arm_tracing(bed.sim, sample_every=10_000, flight=True)
     bed.install_target_policy(deny_flood_policy())
     IperfServer(bed.target)
     flood = FloodGenerator(bed.attacker, FloodSpec(kind=FloodKind.TCP_ACK, dst_port=7777))
@@ -89,6 +94,16 @@ def timeline(lockup_enabled: bool) -> None:
             f"t={bed.sim.now:5.1f}s  firewall agent restarted, "
             f"bandwidth {measure(bed):.1f} Mbps"
         )
+        # The tracer saw the whole incident as first-class events: the
+        # lockup onset from the fault model and the operator's restart.
+        tracer = bed.sim.tracer
+        lockups = tracer.records(event="lockup")
+        restarts = tracer.records(event="agent-restart")
+        assert lockups, "expected an explicit lockup event on the trace"
+        assert restarts, "expected an agent-restart event on the trace"
+        assert bed.target.nic.fault.lockups >= 1
+        print(f"t={bed.sim.now:5.1f}s  trace: {lockups[0]}")
+        print(f"t={bed.sim.now:5.1f}s  trace: {restarts[0]}")
     else:
         print(
             f"t={bed.sim.now:5.1f}s  no lockup occurred; final bandwidth "

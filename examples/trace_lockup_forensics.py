@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Flight-recorder forensics: catching the EFW deny-flood lockup in the act.
+
+The paper's §4.3 lockup is the worst kind of failure for an operator: the
+card goes silent with no error, and the first symptom is a bandwidth
+table full of zeros minutes later.  This example shows how the tracing
+subsystem turns that silence into evidence:
+
+1. the *flight recorder* — an always-cheap bounded event ring — is armed
+   on the testbed kernel (full span tracing stays sampled down),
+2. a deny-all EFW is flooded past its ~1000 pps lockup threshold,
+3. the *watchdog* files a first-class ``lockup`` incident the instant the
+   fault model wedges the card, and staples the flight ring's last events
+   to it — including which pipeline stage saw the final packet,
+4. the agent restart stamps the incident's recovery time, and a second
+   flood produces a second, separate incident with its own dump.
+
+Run:  python examples/trace_lockup_forensics.py
+"""
+
+from repro.apps.flood import FloodGenerator, FloodKind, FloodSpec
+from repro.apps.iperf import IperfServer
+from repro.core.testbed import DeviceKind, Testbed
+from repro.firewall import Action, PortRange, Rule, padded_ruleset
+from repro.net.packet import IpProtocol
+from repro.obs.tracing import SpanRecord, arm_tracing
+
+
+def deny_flood_policy():
+    """Deny the flood port at depth 8, allow the iperf service."""
+    ruleset = padded_ruleset(
+        8,
+        action_rule=Rule(
+            action=Action.DENY,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(7777),
+            symmetric=True,
+            name="deny-flood",
+        ),
+    )
+    with ruleset.mutate() as edit:
+        edit.append(
+            Rule(
+                action=Action.ALLOW,
+                protocol=IpProtocol.TCP,
+                dst_ports=PortRange.single(5001),
+                symmetric=True,
+                name="allow-iperf",
+            )
+        )
+    return ruleset
+
+
+def fmt(entry) -> str:
+    if isinstance(entry, SpanRecord):
+        micros = (entry.end - entry.start) * 1e6
+        return f"[{entry.end:.6f}] span  {entry.name} @ {entry.track} ({micros:.1f} us)"
+    return f"{entry}"
+
+
+def main() -> None:
+    bed = Testbed(device=DeviceKind.EFW)
+    # Spans sampled 1-in-8 keep the run cheap; the flight ring and the
+    # watchdog see *every* event regardless of sampling.
+    tracer = arm_tracing(bed.sim, sample_every=8, flight=True)
+    bed.install_target_policy(deny_flood_policy())
+    IperfServer(bed.target)
+
+    flood = FloodGenerator(
+        bed.attacker, FloodSpec(kind=FloodKind.TCP_ACK, dst_port=7777)
+    )
+
+    print("--- flood #1: 2000 pps at a deny-all EFW ---")
+    flood.start(bed.target.ip, rate_pps=2000)
+    bed.run(0.5)
+    flood.stop()
+
+    lockups = [i for i in tracer.incidents if i.kind == "lockup"]
+    assert len(lockups) == 1, f"expected exactly one lockup incident, got {len(lockups)}"
+    incident = lockups[0]
+    print(f"incident: {incident.describe()}")
+    assert incident.dump is not None, "flight recorder should be attached to the incident"
+    print(f"flight recorder: {len(incident.dump)} records; the last 8:")
+    for entry in incident.dump[-8:]:
+        print(f"  {fmt(entry)}")
+
+    print()
+    print("--- operator response: restart the firewall agent ---")
+    bed.restart_target_agent()
+    bed.run(0.1)
+    assert incident.recovered_at is not None, "restart should stamp the recovery time"
+    print(f"incident now: {incident.describe()}")
+
+    print()
+    print("--- flood #2: the bug recurs until the next restart ---")
+    flood.start(bed.target.ip, rate_pps=2000)
+    bed.run(0.5)
+    flood.stop()
+    lockups = [i for i in tracer.incidents if i.kind == "lockup"]
+    assert len(lockups) == 2, f"expected a second lockup incident, got {len(lockups)}"
+    second = lockups[1]
+    assert second.dump is not None and second.recovered_at is None
+    print(f"incident: {second.describe()}")
+    print()
+    print(f"total incidents on the tracer: {len(tracer.incidents)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs import collect as obs_collect
+from repro.obs.tracing import collect as trace_collect
 
 #: Environment variable consulted when no explicit ``jobs`` is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -94,21 +95,32 @@ def _call_spec(spec: SweepPointSpec) -> Any:
     return spec.fn(**spec.kwargs)
 
 
-def _call_spec_collecting(payload: Tuple[SweepPointSpec, float]) -> Tuple[Any, list]:
-    """Run one spec with metrics collection active in this process.
+def _call_spec_collecting(
+    payload: Tuple[SweepPointSpec, Optional[float], Optional[Any]]
+) -> Tuple[Any, Optional[list], Optional[list]]:
+    """Run one spec with metrics and/or trace collection active here.
 
     Used for *both* the serial and the pooled path, so a point's
     snapshots are identical whatever ``jobs`` is; they travel back to the
     parent alongside the point's result (snapshots are plain dataclasses,
-    hence picklable).
+    hence picklable).  ``payload`` is ``(spec, metrics_interval_or_None,
+    trace_config_or_None)``; the matching snapshot slot is None for a
+    collection that was not requested.
     """
-    spec, interval = payload
-    obs_collect.activate(interval)
+    spec, interval, trace_config = payload
+    if interval is not None:
+        obs_collect.activate(interval)
+    if trace_config is not None:
+        trace_collect.activate(trace_config)
+    metric_snapshots = trace_snapshots = None
     try:
         value = spec.fn(**spec.kwargs)
     finally:
-        snapshots = obs_collect.deactivate()
-    return value, snapshots
+        if trace_config is not None:
+            trace_snapshots = trace_collect.deactivate()
+        if interval is not None:
+            metric_snapshots = obs_collect.deactivate()
+    return value, metric_snapshots, trace_snapshots
 
 
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
@@ -142,6 +154,12 @@ class SweepExecutor:
         given, each point runs with metrics collection active and its
         snapshots are deposited into the collector in spec order —
         identical output for any ``jobs`` value.
+    trace:
+        Optional :class:`~repro.obs.tracing.collect.TraceCollector`.
+        When given, each point runs with packet tracing armed per the
+        collector's :class:`~repro.obs.tracing.collect.TraceConfig`, and
+        its trace snapshots (spans, events, incidents) are deposited in
+        spec order — again identical for any ``jobs`` value.
 
     Examples
     --------
@@ -158,10 +176,26 @@ class SweepExecutor:
         jobs: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
         metrics=None,
+        trace=None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.progress = progress
         self.metrics = metrics
+        self.trace = trace
+
+    def _collecting(self) -> bool:
+        return self.metrics is not None or self.trace is not None
+
+    def _payload(self, spec: SweepPointSpec):
+        interval = self.metrics.interval if self.metrics is not None else None
+        config = self.trace.config if self.trace is not None else None
+        return (spec, interval, config)
+
+    def _deposit(self, label: str, metric_snapshots, trace_snapshots) -> None:
+        if self.metrics is not None:
+            self.metrics.add_point(label, metric_snapshots)
+        if self.trace is not None:
+            self.trace.add_point(label, trace_snapshots)
 
     def run(self, specs: Iterable[SweepPointSpec]) -> List[Any]:
         """Execute every spec; results are returned in spec order."""
@@ -192,11 +226,13 @@ class SweepExecutor:
         results = []
         for index, spec in enumerate(specs, start=1):
             self._announce(index, total, spec.label)
-            if self.metrics is None:
+            if not self._collecting():
                 results.append(_call_spec(spec))
             else:
-                value, snapshots = _call_spec_collecting((spec, self.metrics.interval))
-                self.metrics.add_point(spec.label, snapshots)
+                value, metric_snaps, trace_snaps = _call_spec_collecting(
+                    self._payload(spec)
+                )
+                self._deposit(spec.label, metric_snaps, trace_snaps)
                 results.append(value)
         return results
 
@@ -212,18 +248,18 @@ class SweepExecutor:
             return self._run_serial(specs)
         results: List[Any] = []
         try:
-            if self.metrics is None:
+            if not self._collecting():
                 iterator = pool.imap(_call_spec, specs, chunksize=1)
             else:
-                payloads = [(spec, self.metrics.interval) for spec in specs]
+                payloads = [self._payload(spec) for spec in specs]
                 iterator = pool.imap(_call_spec_collecting, payloads, chunksize=1)
             for index, result in enumerate(iterator, start=1):
                 self._announce(index, total, specs[index - 1].label)
-                if self.metrics is None:
+                if not self._collecting():
                     results.append(result)
                 else:
-                    value, snapshots = result
-                    self.metrics.add_point(specs[index - 1].label, snapshots)
+                    value, metric_snaps, trace_snaps = result
+                    self._deposit(specs[index - 1].label, metric_snaps, trace_snaps)
                     results.append(value)
         finally:
             pool.terminate()

@@ -26,6 +26,7 @@ from repro.host.host import Host
 from repro.net.addresses import Ipv4Address, MacAddress
 from repro.net.topology import StarTopology
 from repro.obs import collect as obs_collect
+from repro.obs.tracing import collect as trace_collect
 from repro.nic.adf import AdfNic
 from repro.nic.efw import EfwNic
 from repro.nic.hardened import HardenedNic
@@ -99,6 +100,10 @@ class Testbed:
         # *before* any component is built, so every constructor below
         # self-registers its instruments into it.
         obs_collect.attach_simulator(self.sim)
+        # Likewise for tracing: when a trace collection is active, arm
+        # this kernel's tracer (spans, flight recorder, watchdog) per the
+        # active TraceConfig before any packets flow.
+        trace_collect.attach_simulator(self.sim)
         self.rng = RngRegistry(seed)
         self.topology = StarTopology(self.sim, bandwidth_bps=bandwidth_bps)
         self.hosts: Dict[str, Host] = {}

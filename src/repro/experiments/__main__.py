@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR] [--metrics DIR] [--no-compiled-matcher]``."""
+"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR] [--metrics DIR] [--trace DIR] [--trace-sample K] [--flight-recorder] [--no-compiled-matcher]``."""
 
 from __future__ import annotations
 
@@ -12,6 +12,12 @@ from repro.firewall.compiled import set_compiled_enabled
 from repro.experiments.figures import plot_result
 from repro.experiments.results import write_json
 from repro.obs import MetricsCollector, write_metrics_csv
+from repro.obs.tracing import (
+    TraceCollector,
+    TraceConfig,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
 from repro.experiments.runner import (
     experiment_ids,
     render_result,
@@ -69,6 +75,37 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help=(
+            "record per-packet lifecycle spans (app send -> NIC -> firewall "
+            "-> link -> switch -> deliver/drop) and write DIR/<id>_trace.json "
+            "(Chrome trace-event format, load in Perfetto or about:tracing) "
+            "plus DIR/<id>_trace.jsonl and DIR/<id>_trace_summary.json"
+        ),
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "trace every K-th packet per testbed (default 1 with --trace: "
+            "trace everything); incident events are recorded regardless"
+        ),
+    )
+    parser.add_argument(
+        "--flight-recorder",
+        action="store_true",
+        help=(
+            "arm the always-cheap bounded event ring and the incident "
+            "watchdog; incidents (EFW lockups, queue saturation, flow-cache "
+            "thrash, zero-goodput) are summarized on stderr and carry the "
+            "last events before the anomaly; combines with --trace"
+        ),
+    )
+    parser.add_argument(
         "--plot",
         action="store_true",
         help="print ASCII charts for the figure experiments",
@@ -89,6 +126,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.no_compiled_matcher:
         set_compiled_enabled(False)
+    if args.trace_sample is not None and args.trace_sample < 1:
+        parser.error("--trace-sample must be >= 1")
 
     selected = args.ids
     if "all" in selected:
@@ -97,6 +136,14 @@ def main(argv=None) -> int:
         os.makedirs(args.json, exist_ok=True)
     if args.metrics is not None:
         os.makedirs(args.metrics, exist_ok=True)
+    if args.trace is not None:
+        os.makedirs(args.trace, exist_ok=True)
+    tracing = args.trace is not None or args.flight_recorder
+    trace_config = TraceConfig(
+        spans=args.trace is not None,
+        sample_every=args.trace_sample if args.trace_sample is not None else 1,
+        flight=args.flight_recorder,
+    ) if tracing else None
 
     try:
         jobs = resolve_jobs(args.jobs)
@@ -107,9 +154,10 @@ def main(argv=None) -> int:
         started = time.time()
         print(f"== {experiment_id} (jobs={jobs}) ==", file=sys.stderr)
         collector = MetricsCollector() if args.metrics is not None else None
+        tracer = TraceCollector(trace_config) if trace_config is not None else None
         result = run_experiment_result(
             experiment_id, quick=args.quick, progress=progress, jobs=jobs,
-            metrics=collector,
+            metrics=collector, trace=tracer,
         )
         elapsed = time.time() - started
         print(render_result(result))
@@ -129,6 +177,39 @@ def main(argv=None) -> int:
             write_json(series, json_path)
             write_metrics_csv(series, csv_path)
             print(f"(wrote {json_path} and {csv_path})", file=sys.stderr)
+        if tracer is not None:
+            for incident in tracer.incidents():
+                print(f"  !! {incident.describe()}", file=sys.stderr)
+            if args.trace is not None:
+                trace = tracer.experiment(experiment_id)
+                chrome_path = os.path.join(args.trace, f"{experiment_id}_trace.json")
+                jsonl_path = os.path.join(args.trace, f"{experiment_id}_trace.jsonl")
+                summary_path = os.path.join(
+                    args.trace, f"{experiment_id}_trace_summary.json"
+                )
+                write_chrome_trace(trace, chrome_path)
+                write_trace_jsonl(trace, jsonl_path)
+                summary = {
+                    "experiment": experiment_id,
+                    "config": trace.config,
+                    "points": [
+                        {
+                            "label": point.label,
+                            "spans": sum(len(s.spans) for s in point.snapshots),
+                            "events": sum(len(s.events) for s in point.snapshots),
+                            "incidents": sum(
+                                len(s.incidents) for s in point.snapshots
+                            ),
+                        }
+                        for point in trace.points
+                    ],
+                    "incidents": [inc.describe() for inc in trace.incidents()],
+                }
+                write_json(summary, summary_path)
+                print(
+                    f"(wrote {chrome_path}, {jsonl_path} and {summary_path})",
+                    file=sys.stderr,
+                )
         print(f"({experiment_id} took {elapsed:.1f}s)\n", file=sys.stderr)
     return 0
 

@@ -70,6 +70,7 @@ def response_traffic(
     progress=None,
     jobs: Optional[int] = None,
     metrics=None,
+    trace=None,
 ) -> AblationResult:
     """Allowed-flood minimum DoS rate, with and without host responses.
 
@@ -95,7 +96,7 @@ def response_traffic(
             kwargs={"settings": settings, "depth": depth},
         ),
     ]
-    allow, deny, muted = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
+    allow, deny, muted = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
     result = AblationResult(name="response-traffic (ADF)", unit="min DoS flood (pps)")
     result.outcomes["allowed flood, responses ON"] = allow
     result.outcomes["denied flood (reference)"] = deny
@@ -164,6 +165,7 @@ def lazy_decrypt(
     progress=None,
     jobs: Optional[int] = None,
     metrics=None,
+    trace=None,
 ) -> AblationResult:
     """ADF VPG bandwidth with lazy vs. eager decryption."""
     settings = settings if settings is not None else MeasurementSettings()
@@ -178,7 +180,7 @@ def lazy_decrypt(
         )
         for lazy, vpg_count in plans
     ]
-    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
+    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
     result = AblationResult(name="lazy-decrypt", unit="bandwidth (Mbps)")
     for (lazy, vpg_count), mbps in zip(plans, values):
         mode = "lazy" if lazy else "eager"
@@ -199,6 +201,7 @@ def ring_size(
     progress=None,
     jobs: Optional[int] = None,
     metrics=None,
+    trace=None,
 ) -> AblationResult:
     """Bandwidth under a near-saturating flood as the RX ring grows."""
     settings = settings if settings is not None else MeasurementSettings()
@@ -210,7 +213,7 @@ def ring_size(
         )
         for size in ring_sizes
     ]
-    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
+    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
     result = AblationResult(
         name=f"ring-size (flood {flood_rate:,.0f} pps)", unit="bandwidth (Mbps)"
     )
@@ -288,6 +291,7 @@ def stateful_firewall(
     progress=None,
     jobs: Optional[int] = None,
     metrics=None,
+    trace=None,
 ) -> AblationResult:
     """Stateless vs. stateful iptables: CPU cost and state exhaustion.
 
@@ -315,7 +319,7 @@ def stateful_firewall(
             kwargs={"settings": settings},
         ),
     ]
-    executor = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics)
+    executor = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace)
     (stateless_mbps, stateless_cpu), (stateful_mbps, stateful_cpu), exhaustion = (
         executor.run(specs)
     )
@@ -337,12 +341,13 @@ def run(
     progress=None,
     jobs: Optional[int] = None,
     metrics=None,
+    trace=None,
 ) -> List[AblationResult]:
     """Run all four ablations (grid knobs: ``vpg_counts``, ``ring_sizes``,
     ``stateful_depth``)."""
     preset = preset if preset is not None else FULL
     settings = preset.settings
-    common = {"progress": progress, "jobs": jobs, "metrics": metrics}
+    common = {"progress": progress, "jobs": jobs, "metrics": metrics, "trace": trace}
     return [
         response_traffic(settings, **common),
         lazy_decrypt(settings, vpg_counts=preset.grid("vpg_counts", (1, 4, 8)), **common),

@@ -118,6 +118,7 @@ def run(
     progress=None,
     jobs: Optional[int] = None,
     metrics=None,
+    trace=None,
 ) -> HardenedResult:
     """Run the extension comparison (grid knob: ``depths``).
 
@@ -138,7 +139,7 @@ def run(
         for label, device in plans
         for depth in depths
     ]
-    points = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
+    points = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
     result = HardenedResult()
     cursor = iter(points)
     for label, _device in plans:

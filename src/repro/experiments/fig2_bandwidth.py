@@ -67,6 +67,7 @@ def run(
     progress=None,
     jobs: Optional[int] = None,
     metrics=None,
+    trace=None,
 ) -> Fig2Result:
     """Regenerate Figure 2 (grid knobs: ``depths``, ``vpg_counts``).
 
@@ -100,7 +101,7 @@ def run(
         )
         for vpg_count in vpg_counts
     )
-    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
+    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
     result = Fig2Result()
     cursor = iter(values)
     for label, _device in plans:

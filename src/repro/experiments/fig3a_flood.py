@@ -69,6 +69,7 @@ def run(
     progress=None,
     jobs: Optional[int] = None,
     metrics=None,
+    trace=None,
 ) -> Fig3aResult:
     """Regenerate Figure 3a (grid knobs: ``flood_rates``, ``repetitions``).
 
@@ -112,7 +113,7 @@ def run(
         for label, device, vpg_count in plans
         for rate in flood_rates
     ]
-    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
+    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
     result = Fig3aResult()
     cursor = iter(values)
     for label, _device, _vpg_count in plans:

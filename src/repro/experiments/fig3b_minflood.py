@@ -82,6 +82,7 @@ def run(
     progress=None,
     jobs: Optional[int] = None,
     metrics=None,
+    trace=None,
 ) -> Fig3bResult:
     """Regenerate Figure 3b (grid knobs: ``depths``, ``probe_duration``).
 
@@ -118,7 +119,7 @@ def run(
         for label, device, flood_allowed in plans
         for depth in depths
     ]
-    searches = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
+    searches = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
     result = Fig3bResult()
     cursor = iter(searches)
     for label, _device, _flood_allowed in plans:

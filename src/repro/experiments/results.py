@@ -120,6 +120,9 @@ def _build_type_registry() -> Dict[str, Type]:
         table1_http,
     )
     from repro.obs import collect, sampler
+    from repro.obs.tracing import collect as trace_collect
+    from repro.obs.tracing import tracer as trace_tracer
+    from repro.obs.tracing import watchdog as trace_watchdog
 
     registry: Dict[str, Type] = {}
     modules = (
@@ -134,6 +137,9 @@ def _build_type_registry() -> Dict[str, Type]:
         ablations,
         sampler,
         collect,
+        trace_collect,
+        trace_tracer,
+        trace_watchdog,
     )
     for module in modules:
         for name, obj in vars(module).items():

@@ -5,14 +5,18 @@
 or ``all``.  Every experiment is an :class:`ExperimentSpec` whose single
 entry point follows the shared keyword contract::
 
-    spec.run(preset=..., progress=..., jobs=..., metrics=...)
+    spec.run(preset=..., progress=..., jobs=..., metrics=..., trace=...)
 
 ``preset`` is a :class:`~repro.experiments.presets.Preset` (or the names
 "full"/"quick"); the quick grids live in
 :mod:`repro.experiments.presets`.  ``metrics`` is an optional
 :class:`~repro.obs.collect.MetricsCollector` that receives per-sweep
-time series; ``--json DIR`` and ``--metrics DIR`` on the CLI archive the
-result and the series (see :mod:`repro.experiments.results`).
+time series; ``trace`` an optional
+:class:`~repro.obs.tracing.collect.TraceCollector` that receives
+per-point packet-lifecycle traces and incidents.  ``--json DIR``,
+``--metrics DIR`` and ``--trace DIR`` on the CLI archive the result,
+the series and the traces (see :mod:`repro.experiments.results` and
+:mod:`repro.obs.tracing.export`).
 """
 
 from __future__ import annotations
@@ -59,10 +63,13 @@ class ExperimentSpec:
         progress: Progress = None,
         jobs: Jobs = None,
         metrics=None,
+        trace=None,
     ) -> Any:
         """Run the experiment and return its raw result object."""
         resolved = resolve_preset(self.experiment_id, preset)
-        return self.entry(preset=resolved, progress=progress, jobs=jobs, metrics=metrics)
+        return self.entry(
+            preset=resolved, progress=progress, jobs=jobs, metrics=metrics, trace=trace
+        )
 
 
 def render_result(result: Any) -> str:
@@ -122,6 +129,7 @@ def run_experiment_result(
     progress: Progress = None,
     jobs: Jobs = None,
     metrics=None,
+    trace=None,
     preset: PresetLike = None,
 ) -> Any:
     """Run one experiment and return its raw result object.
@@ -129,7 +137,7 @@ def run_experiment_result(
     ``preset`` wins over the ``quick`` flag when both are given.
     ``jobs`` is the sweep worker-process count: 1 = serial, None = auto
     (``REPRO_JOBS`` or the CPU count).  Any value yields the same result,
-    with or without a ``metrics`` collector.
+    with or without a ``metrics`` or ``trace`` collector.
     """
     spec = REGISTRY.get(experiment_id)
     if spec is None:
@@ -138,7 +146,9 @@ def run_experiment_result(
         )
     if preset is None:
         preset = "quick" if quick else "full"
-    return spec.run(preset=preset, progress=progress, jobs=jobs, metrics=metrics)
+    return spec.run(
+        preset=preset, progress=progress, jobs=jobs, metrics=metrics, trace=trace
+    )
 
 
 def run_experiment(

@@ -82,6 +82,7 @@ def run(
     progress=None,
     jobs: Optional[int] = None,
     metrics=None,
+    trace=None,
 ) -> Table1Result:
     """Regenerate Table 1 (grid knobs: ``depths``, ``vpg_counts``).
 
@@ -115,7 +116,7 @@ def run(
         spec(f"table1: ADF VPG count={vpg_count}", DeviceKind.ADF, vpg_count=vpg_count)
         for vpg_count in vpg_counts
     )
-    measurements = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics).run(specs)
+    measurements = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
     result = Table1Result()
     result.standard_nic = measurements[0]
     result.adf_standard = measurements[1 : 1 + len(depths)]

@@ -122,11 +122,16 @@ class IptablesFilter:
             frame_bytes=packet.size, rules_traversed=result.rules_traversed
         )
         self._pending_result = result
+        self._pending_engine = chain.last_engine
+        self._pending_t0 = self.sim.now
         return item_cost
 
     def _completed(self, item) -> None:
         packet, direction, dst_mac = item
         result = self._pending_result
+        tracer = self.sim.tracer
+        if tracer.hot:
+            self._trace_verdict(tracer, packet, direction, result)
         if direction == Direction.INBOUND:
             if result.allowed:
                 self.accepted_in += 1
@@ -139,6 +144,30 @@ class IptablesFilter:
                 self.host.transmit_filtered(packet, dst_mac)
             else:
                 self.dropped_out += 1
+
+    def _trace_verdict(self, tracer, packet, direction, result) -> None:
+        ctx = getattr(packet, "trace_ctx", None)
+        if ctx is None:
+            return
+        track = f"{self.host.name}.iptables" if self.host is not None else "iptables"
+        now = self.sim.now
+        if tracer.active:
+            record = tracer.span(
+                ctx, "iptables", track,
+                self._pending_t0, now,
+                parent=getattr(packet, "trace_parent", None),
+                direction=direction.name.lower(),
+                verdict="allow" if result.allowed else "deny",
+                rules=result.rules_traversed,
+                engine=self._pending_engine,
+            )
+            packet.trace_parent = record.span_id
+        if not result.allowed:
+            tracer.event(
+                now, track, "fw-deny", ctx,
+                direction=direction.name.lower(),
+                packet=packet.describe(),
+            )
 
     @property
     def utilisation_time(self) -> float:

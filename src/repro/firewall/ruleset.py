@@ -164,6 +164,15 @@ class RuleSet:
         self._compiled: Optional[CompiledClassifier] = None
         self._version = 0
         self.compiled_stats = ClassifierStats()
+        #: Which engine answered the most recent evaluation:
+        #: "cache", "compiled", or "linear".  One attribute store per
+        #: lookup; the tracing layer reads it to annotate classify spans.
+        self.last_engine: Optional[str] = None
+        #: Flow-cache LRU evictions since construction.
+        self.cache_evictions = 0
+        #: Optional zero-argument callable invoked per eviction (the
+        #: tracing layer installs one to detect cache thrash).
+        self.trace_hook = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -291,13 +300,16 @@ class RuleSet:
         cached = cache.pop(cache_key, None)
         if cached is not None:
             cache[cache_key] = cached  # re-insert at the MRU end
+            self.last_engine = "cache"
             return cached
         if compiled_enabled():
             result = self.compiled_classifier.lookup(flow, direction)
             self.compiled_stats.hits += 1
+            self.last_engine = "compiled"
         else:
             result = self._evaluate_linear(packet, direction)
             self.compiled_stats.fallbacks += 1
+            self.last_engine = "linear"
         self._cache_store(cache_key, result)
         return result
 
@@ -317,6 +329,10 @@ class RuleSet:
         cache = self._flow_cache
         if len(cache) >= limit:
             del cache[next(iter(cache))]
+            self.cache_evictions += 1
+            hook = self.trace_hook
+            if hook is not None:
+                hook()
         cache[cache_key] = result
 
     def _evaluate_linear(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
@@ -349,13 +365,16 @@ class RuleSet:
         cached = cache.pop(cache_key, None)
         if cached is not None:
             cache[cache_key] = cached  # re-insert at the MRU end
+            self.last_engine = "cache"
             return cached
         if compiled_enabled():
             result = self.compiled_classifier.lookup_encrypted(spi)
             self.compiled_stats.hits += 1
+            self.last_engine = "compiled"
         else:
             result = self._evaluate_encrypted_linear(spi)
             self.compiled_stats.fallbacks += 1
+            self.last_engine = "linear"
         self._cache_store(cache_key, result)
         return result
 

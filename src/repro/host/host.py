@@ -128,6 +128,16 @@ class Host:
 
     def _stack_input(self, packet: Ipv4Packet) -> None:
         self.packets_delivered += 1
+        tracer = self.sim.tracer
+        if tracer.active:
+            ctx = getattr(packet, "trace_ctx", None)
+            if ctx is not None:
+                now = self.sim.now
+                tracer.span(
+                    ctx, "app.deliver", self.name, now, now,
+                    parent=getattr(packet, "trace_parent", None),
+                    proto=packet.protocol.name,
+                )
         self.ip_layer.packet_arrived(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -44,6 +44,9 @@ class IpLayer:
         """Transmit a fully-formed packet (spoofed sources allowed —
         this is the raw-socket path the flood generator uses)."""
         self.packets_sent += 1
+        tracer = self.host.sim.tracer
+        if tracer.active:
+            self._trace_send(tracer, packet)
         static = self.arp_table.get(packet.dst)
         if static is not None:
             self.host.transmit(packet, static)
@@ -53,6 +56,33 @@ class IpLayer:
             self.host.arp.send_when_resolved(packet)
             return
         self.host.transmit(packet, BROADCAST_MAC)
+
+    def _trace_send(self, tracer, packet: Ipv4Packet) -> None:
+        """Root every sampled packet's span chain at the sending host.
+
+        This is the universal egress entry: the apps, the protocol
+        layers, and the raw flood generator all funnel through
+        ``send_packet``, so rooting here covers legitimate traffic and
+        attack traffic alike.  Retransmissions reuse the packet's
+        existing context and extend its chain instead of re-rooting.
+        """
+        if getattr(packet, "trace_ctx", None) is not None:
+            return
+        ctx = tracer.begin(packet)
+        if ctx is not None:
+            now = self.host.sim.now
+            record = tracer.span(
+                ctx,
+                "app.send",
+                self.host.name,
+                now,
+                now,
+                proto=packet.protocol.name,
+                src=str(packet.src),
+                dst=str(packet.dst),
+                size=packet.size,
+            )
+            packet.trace_parent = record.span_id
 
     def resolve(self, dst_ip: Ipv4Address) -> MacAddress:
         """Best-known MAC for ``dst_ip``: static table, then the dynamic

@@ -78,9 +78,28 @@ class LinkPort:
 
         Returns False (and counts a drop) if the transmit queue is full.
         """
+        tracer = self.link.sim.tracer
         if len(self._queue) >= self.queue_capacity:
             self.dropped_frames += 1
+            if tracer.hot:
+                packet = frame.ip
+                tracer.event(
+                    self.link.sim.now, self.name, "drop-queue-full",
+                    getattr(packet, "trace_ctx", None) if packet is not None else None,
+                    bytes=frame.wire_size,
+                )
             return False
+        if tracer.active:
+            packet = frame.ip
+            if packet is not None and getattr(packet, "trace_ctx", None) is not None:
+                # Stamp the hop start and the causal parent.  A switch
+                # flooding the same frame out several ports stamps every
+                # copy here in the same event (same values), and each
+                # copy's span later parents under this captured id — not
+                # under whatever a sibling branch made of the shared
+                # context head in the meantime.
+                frame.trace_t0 = self.link.sim.now
+                frame.trace_parent = getattr(packet, "trace_parent", None)
         self._queue.append(frame)
         if not self._transmitting:
             self._start_next()
@@ -115,6 +134,21 @@ class LinkPort:
             return
         peer.rx_frames += 1
         peer.rx_bytes += frame.wire_size
+        sim = self.link.sim
+        tracer = sim.tracer
+        if tracer.active:
+            packet = frame.ip
+            ctx = getattr(packet, "trace_ctx", None) if packet is not None else None
+            if ctx is not None:
+                record = tracer.span(
+                    ctx, "link.tx", self.name,
+                    getattr(frame, "trace_t0", sim.now), sim.now,
+                    parent=getattr(frame, "trace_parent", None),
+                    bytes=frame.wire_size,
+                )
+                # Re-stamp before the synchronous hand-off below so the
+                # receiving device captures this hop as its parent.
+                packet.trace_parent = record.span_id
         for tap in self.link.taps:
             tap.observe(self.link.sim.now, frame, self, peer)
         if peer.device is not None:

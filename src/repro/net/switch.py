@@ -94,6 +94,18 @@ class EthernetSwitch:
     # ------------------------------------------------------------------
 
     def _forward(self, frame: EthernetFrame, ingress: LinkPort) -> None:
+        tracer = self.sim.tracer
+        if tracer.active:
+            packet = frame.ip
+            ctx = getattr(packet, "trace_ctx", None) if packet is not None else None
+            if ctx is not None:
+                now = self.sim.now
+                record = tracer.span(
+                    ctx, "switch.forward", self.name,
+                    now - self.forwarding_latency, now,
+                    parent=getattr(packet, "trace_parent", None),
+                )
+                packet.trace_parent = record.span_id
         if frame.dst_mac.is_broadcast or frame.dst_mac.is_multicast:
             self._flood(frame, ingress)
             return

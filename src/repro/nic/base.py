@@ -66,6 +66,17 @@ class BaseNic:
 
     def send_packet(self, packet: Ipv4Packet, dst_mac: MacAddress) -> None:
         """Entry point for outbound packets from the host stack."""
+        tracer = self.sim.tracer
+        if tracer.active and getattr(packet, "trace_ctx", None) is None:
+            # Fallback root for packets injected below the IP layer
+            # (driver-level tests, tools): the chain starts at the NIC.
+            ctx = tracer.begin(packet)
+            if ctx is not None:
+                now = self.sim.now
+                record = tracer.span(
+                    ctx, "nic.send", self.name, now, now, size=packet.size
+                )
+                packet.trace_parent = record.span_id
         self._process_egress(packet, dst_mac)
 
     def _process_egress(self, packet: Ipv4Packet, dst_mac: MacAddress) -> None:

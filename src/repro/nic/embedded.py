@@ -42,9 +42,16 @@ _TX = "tx"
 
 
 class _WorkItem:
-    """One packet crossing the card's processor."""
+    """One packet crossing the card's processor.
 
-    __slots__ = ("kind", "packet", "frame_bytes", "dst_mac", "verdict")
+    The trailing slots (``ctx``, ``t_offer``, ``parent``, ``rules``,
+    ``engine``) are assigned only while tracing is active and read back
+    with ``getattr`` defaults, so the untraced hot path never touches
+    them.
+    """
+
+    __slots__ = ("kind", "packet", "frame_bytes", "dst_mac", "verdict",
+                 "ctx", "t_offer", "parent", "rules", "engine")
 
     def __init__(self, kind: str, packet: Ipv4Packet, frame_bytes: int, dst_mac=None):
         self.kind = kind
@@ -102,6 +109,7 @@ class EmbeddedFirewallNic(BaseNic):
         self.vpg_opened = 0
         self.vpg_auth_failures = 0
         self.agent_restarts = 0
+        self._cache_evictions = 0
         # Callback-backed instruments over the plain counters above.  The
         # fault (and hence the lockup counter) is installed by subclasses
         # after this constructor, so its callback tolerates fault=None.
@@ -152,9 +160,27 @@ class EmbeddedFirewallNic(BaseNic):
         if vpg_rules and key_store is None:
             raise ValueError("policy contains VPG rules but no key store was given")
         self.policy = policy
+        if self.sim.tracer.hot:
+            # Surface flow-cache pressure as trace events (sampled: one
+            # event per eviction batch) so the watchdog can flag thrash.
+            policy.trace_hook = self._cache_evicted
         self.vpg_contexts = {
             rule.vpg_id: key_store.context_for(rule.vpg_id) for rule in vpg_rules
         }
+
+    #: Evictions batched per flow-cache-evict trace event.
+    _EVICT_BATCH = 64
+
+    def _cache_evicted(self) -> None:
+        """Rule-set flow-cache eviction hook (installed while tracing)."""
+        self._cache_evictions += 1
+        if self._cache_evictions % self._EVICT_BATCH == 0:
+            tracer = self.sim.tracer
+            if tracer.hot:
+                tracer.event(
+                    self.sim.now, self.name, "flow-cache-evict",
+                    None, count=self._EVICT_BATCH, total=self._cache_evictions,
+                )
 
     def clear_policy(self) -> None:
         """Remove the installed policy (card passes traffic unfiltered)."""
@@ -174,6 +200,12 @@ class EmbeddedFirewallNic(BaseNic):
         the NIC until the next flood test."
         """
         self.agent_restarts += 1
+        tracer = self.sim.tracer
+        if tracer.hot:
+            tracer.event(
+                self.sim.now, self.name, "agent-restart",
+                None, restarts=self.agent_restarts,
+            )
         if self.fault is not None:
             self.fault.reset()
         self.processor.resume()
@@ -183,14 +215,33 @@ class EmbeddedFirewallNic(BaseNic):
     # ------------------------------------------------------------------
 
     def _process_ingress(self, frame: EthernetFrame, packet: Ipv4Packet) -> None:
-        self.processor.offer(_WorkItem(_RX, packet, frame.wire_size))
+        item = _WorkItem(_RX, packet, frame.wire_size)
+        tracer = self.sim.tracer
+        if tracer.active:
+            ctx = getattr(packet, "trace_ctx", None)
+            if ctx is not None:
+                item.ctx = ctx
+                item.t_offer = self.sim.now
+                # Capture the causal parent now: by service-completion
+                # time the shared context head may belong to another
+                # branch of the same (switch-flooded) frame.
+                item.parent = getattr(packet, "trace_parent", None)
+        self.processor.offer(item)
 
     def _process_egress(self, packet: Ipv4Packet, dst_mac: MacAddress) -> None:
         frame_bytes = max(
             packet.size + units.ETHERNET_HEADER + units.ETHERNET_FCS,
             units.ETHERNET_MIN_FRAME,
         )
-        self.processor.offer(_WorkItem(_TX, packet, frame_bytes, dst_mac))
+        item = _WorkItem(_TX, packet, frame_bytes, dst_mac)
+        tracer = self.sim.tracer
+        if tracer.active:
+            ctx = getattr(packet, "trace_ctx", None)
+            if ctx is not None:
+                item.ctx = ctx
+                item.t_offer = self.sim.now
+                item.parent = getattr(packet, "trace_parent", None)
+        self.processor.offer(item)
 
     # ------------------------------------------------------------------
     # Processor service
@@ -216,6 +267,9 @@ class EmbeddedFirewallNic(BaseNic):
         if packet.protocol == IpProtocol.VPG and sealed is not None:
             result = self.policy.evaluate_encrypted(sealed.spi)
             self.rules_evaluated += result.rules_traversed
+            if getattr(item, "ctx", None) is not None:
+                item.rules = result.rules_traversed
+                item.engine = self.policy.last_engine
             vpg_matched = result.is_vpg and result.allowed
             item.verdict = _Verdict(
                 allowed=result.allowed and vpg_matched,
@@ -237,6 +291,9 @@ class EmbeddedFirewallNic(BaseNic):
             return cost
         result = self.policy.evaluate(packet, Direction.INBOUND)
         self.rules_evaluated += result.rules_traversed
+        if getattr(item, "ctx", None) is not None:
+            item.rules = result.rules_traversed
+            item.engine = self.policy.last_engine
         # A plaintext packet matching a VPG rule's selector is spoofed
         # traffic: group members always encrypt, so admission requires a
         # valid VPG encapsulation (sender authentication).
@@ -253,6 +310,9 @@ class EmbeddedFirewallNic(BaseNic):
             return self.cost_model.service_time(item.frame_bytes, rules_traversed=0)
         result = self.policy.evaluate(packet, Direction.OUTBOUND)
         self.rules_evaluated += result.rules_traversed
+        if getattr(item, "ctx", None) is not None:
+            item.rules = result.rules_traversed
+            item.engine = self.policy.last_engine
         vpg_matched = result.is_vpg and result.allowed
         item.verdict = _Verdict(
             allowed=result.allowed,
@@ -289,9 +349,9 @@ class EmbeddedFirewallNic(BaseNic):
         verdict = item.verdict
         if not verdict.allowed:
             self.rx_denied += 1
-            self.sim.tracer.emit(
-                self.sim.now, self.name, "rx-deny", packet=item.packet.describe()
-            )
+            tracer = self.sim.tracer
+            if tracer.hot:
+                self._trace_verdict(tracer, item, "nic.rx", "rx-deny")
             if self.fault is not None:
                 self.fault.record_deny(self.sim.now)
             return
@@ -307,6 +367,13 @@ class EmbeddedFirewallNic(BaseNic):
                 self.vpg_auth_failures += 1
                 return
             self.vpg_opened += 1
+        ctx = getattr(item, "ctx", None)
+        if ctx is not None:
+            if packet is not item.packet:
+                # VPG decapsulation produced a new packet object; the
+                # trace context follows the payload, not the wrapper.
+                packet.trace_ctx = ctx
+            self._trace_stage(item, "nic.rx", "allow", packet)
         self.rx_allowed += 1
         self._deliver_to_host(packet)
 
@@ -314,9 +381,9 @@ class EmbeddedFirewallNic(BaseNic):
         verdict = item.verdict
         if not verdict.allowed:
             self.tx_denied += 1
-            self.sim.tracer.emit(
-                self.sim.now, self.name, "tx-deny", packet=item.packet.describe()
-            )
+            tracer = self.sim.tracer
+            if tracer.hot:
+                self._trace_verdict(tracer, item, "nic.tx", "tx-deny")
             return
         packet = item.packet
         if verdict.vpg_id is not None:
@@ -325,8 +392,53 @@ class EmbeddedFirewallNic(BaseNic):
                 self.tx_denied += 1
                 return
             packet = context.seal(packet, outer_src=packet.src, outer_dst=packet.dst)
+        ctx = getattr(item, "ctx", None)
+        if ctx is not None:
+            if packet is not item.packet:
+                packet.trace_ctx = ctx
+            self._trace_stage(item, "nic.tx", "allow", packet)
         self.tx_allowed += 1
         self._transmit_frame(packet, item.dst_mac)
+
+    # ------------------------------------------------------------------
+    # Tracing helpers (reached only when the tracer is armed)
+    # ------------------------------------------------------------------
+
+    def _trace_stage(
+        self, item: _WorkItem, stage: str, verdict: str, packet=None
+    ) -> None:
+        """Close the processor-crossing span for a traced work item.
+
+        ``packet`` is the object continuing downstream (when allowed);
+        it is re-stamped as the carrier of the new causal parent.
+        """
+        ctx = getattr(item, "ctx", None)
+        if ctx is None:
+            return
+        record = self.sim.tracer.span(
+            ctx,
+            stage,
+            self.name,
+            getattr(item, "t_offer", self.sim.now),
+            self.sim.now,
+            parent=getattr(item, "parent", None),
+            verdict=verdict,
+            rules=getattr(item, "rules", None),
+            engine=getattr(item, "engine", None),
+        )
+        if packet is not None:
+            packet.trace_parent = record.span_id
+
+    def _trace_verdict(self, tracer, item: _WorkItem, stage: str, event: str) -> None:
+        """Record a deny: an event always, plus the span when sampled."""
+        self._trace_stage(item, stage, "deny")
+        tracer.event(
+            self.sim.now,
+            self.name,
+            event,
+            getattr(item, "ctx", None),
+            packet=item.packet.describe(),
+        )
 
     # ------------------------------------------------------------------
     # Stats

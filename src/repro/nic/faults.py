@@ -67,6 +67,7 @@ class DenyFloodLockupFault:
         self._restored_metric = metrics.counter(
             "nic_lockup_transitions", nic=nic.name, state="restored"
         )
+        metrics.counter_fn("nic_fault_lockups", lambda: self.lockups, nic=nic.name)
 
     def record_deny(self, now: float) -> None:
         """Note one ingress deny; wedge the card if the rate is sustained."""
@@ -82,8 +83,17 @@ class DenyFloodLockupFault:
     def _wedge(self, now: float) -> None:
         self.lockups += 1
         self.locked_at = now
+        deny_rate = len(self._deny_times) / self.window
         self._deny_times.clear()
         self._wedged_metric.inc()
+        tracer = self.nic.sim.tracer
+        if tracer.hot:
+            # Explicit onset event, emitted *before* the processor pause
+            # so the flight recorder shows lockup -> pause -> silence.
+            tracer.event(
+                now, self.nic.name, "lockup",
+                None, deny_rate_pps=round(deny_rate, 1), lockups=self.lockups,
+            )
         self.nic.processor.pause(drop_queued=True)
 
     def reset(self) -> None:
@@ -91,4 +101,10 @@ class DenyFloodLockupFault:
         self._deny_times.clear()
         if self.locked_at is not None:
             self._restored_metric.inc()
+            tracer = self.nic.sim.tracer
+            if tracer.hot:
+                tracer.event(
+                    self.nic.sim.now, self.nic.name, "lockup-cleared",
+                    None, locked_for_s=round(self.nic.sim.now - self.locked_at, 6),
+                )
         self.locked_at = None

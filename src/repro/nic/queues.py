@@ -92,10 +92,21 @@ class ServiceQueue:
         """Submit an item.  Returns False (and counts) if it was dropped."""
         if self._paused:
             self.dropped_paused += 1
+            tracer = self.sim.tracer
+            if tracer.hot:
+                tracer.event(
+                    self.sim.now, self.name, "drop-paused",
+                    getattr(item, "ctx", None),
+                )
             return False
         if len(self._queue) >= self.capacity:
             self.dropped_full += 1
-            self.sim.tracer.emit(self.sim.now, self.name, "drop-full")
+            tracer = self.sim.tracer
+            if tracer.hot:
+                tracer.event(
+                    self.sim.now, self.name, "drop-full",
+                    getattr(item, "ctx", None),
+                )
             return False
         self.accepted += 1
         self._queue.append(item)
@@ -126,7 +137,12 @@ class ServiceQueue:
         Any in-service item is abandoned (it never completes).  Queued
         items are dropped when ``drop_queued`` is True.
         """
-        self.sim.tracer.emit(self.sim.now, self.name, "pause")
+        tracer = self.sim.tracer
+        if tracer.hot:
+            tracer.event(
+                self.sim.now, self.name, "pause",
+                None, drop_queued=drop_queued, queued=len(self._queue),
+            )
         if not self._paused:
             self._pause_metric.inc()
         self._paused = True

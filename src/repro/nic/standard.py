@@ -34,10 +34,32 @@ class StandardNic(BaseNic):
 
     def _process_egress(self, packet: Ipv4Packet, dst_mac: MacAddress) -> None:
         delay = self.cost_model.service_time(frame_bytes=packet.size, rules_traversed=0)
+        tracer = self.sim.tracer
+        if tracer.active:
+            ctx = getattr(packet, "trace_ctx", None)
+            if ctx is not None:
+                # Fixed pipeline latency: the span's whole extent is known
+                # up front, so it can be emitted immediately.
+                now = self.sim.now
+                record = tracer.span(
+                    ctx, "nic.tx", self.name, now, now + delay,
+                    parent=getattr(packet, "trace_parent", None),
+                )
+                packet.trace_parent = record.span_id
         self.sim.schedule(delay, self._transmit_frame, packet, dst_mac)
 
     def _process_ingress(self, frame: EthernetFrame, packet: Ipv4Packet) -> None:
         delay = self.cost_model.service_time(
             frame_bytes=frame.wire_size, rules_traversed=0
         )
+        tracer = self.sim.tracer
+        if tracer.active:
+            ctx = getattr(packet, "trace_ctx", None)
+            if ctx is not None:
+                now = self.sim.now
+                record = tracer.span(
+                    ctx, "nic.rx", self.name, now, now + delay,
+                    parent=getattr(packet, "trace_parent", None),
+                )
+                packet.trace_parent = record.span_id
         self.sim.schedule(delay, self._deliver_to_host, packet)

@@ -15,7 +15,10 @@ the layer that makes those runs diagnosable while they happen:
 * :mod:`repro.obs.instrument` — kernel gauges (events executed /
   cancelled, heap depth),
 * :mod:`repro.obs.export` — CSV export of collected series (JSON goes
-  through :mod:`repro.experiments.results`).
+  through :mod:`repro.experiments.results`),
+* :mod:`repro.obs.tracing` — causal per-packet lifecycle spans, the
+  always-cheap flight recorder, the incident watchdog, and Chrome
+  trace-event / JSONL exporters.
 
 Components self-register against ``sim.metrics`` at construction; with
 the default :data:`NULL_REGISTRY` every registration returns a shared
@@ -40,22 +43,50 @@ from repro.obs.registry import (
     NullRegistry,
 )
 from repro.obs.sampler import MetricSeries, MetricsSnapshot, Sampler
+from repro.obs.tracing import (
+    ExperimentTrace,
+    FlightRecorder,
+    Incident,
+    PacketTracer,
+    SpanRecord,
+    TraceCollector,
+    TraceConfig,
+    TraceRecord,
+    Watchdog,
+    arm_tracing,
+    chrome_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_SAMPLE_INTERVAL",
     "ExperimentMetrics",
+    "ExperimentTrace",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "Incident",
     "MetricSeries",
     "MetricsCollector",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_REGISTRY",
     "NullRegistry",
+    "PacketTracer",
     "PointMetrics",
     "Sampler",
+    "SpanRecord",
+    "TraceCollector",
+    "TraceConfig",
+    "TraceRecord",
+    "Watchdog",
+    "arm_tracing",
+    "chrome_trace",
     "flatten_rows",
     "instrument_simulator",
+    "write_chrome_trace",
     "write_metrics_csv",
+    "write_trace_jsonl",
 ]

@@ -1,0 +1,213 @@
+"""Per-sweep-point trace collection, identical for any worker count.
+
+This mirrors :mod:`repro.obs.collect` exactly: experiment sweeps run each
+point in its own (possibly forked) process, so trace output must travel
+back with the point's result as picklable snapshots, deposited in spec
+order so ``jobs=1`` and ``jobs=N`` produce identical collections.
+
+* :class:`TraceConfig` — the picklable arming recipe the CLI builds and
+  the executor ships to workers.
+* :class:`TraceCollector` — parent-side storage the experiment modules
+  accept via their ``trace=`` keyword; one :class:`PointTrace` per sweep
+  point.
+* the process-local *active collection* (:func:`activate` /
+  :func:`deactivate`) — while active, every
+  :class:`~repro.core.testbed.Testbed` built in this process arms its
+  kernel's tracer (see :func:`attach_simulator`): spans + sampling per
+  the config, a flight recorder and watchdog when requested, and the
+  span-duration histogram bridge whenever the testbed also carries a
+  real metrics registry.  :func:`deactivate` finalizes every watchdog
+  and snapshots every tracer, in creation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.tracing.flight import DEFAULT_FLIGHT_SIZE, FlightRecorder
+from repro.obs.tracing.tracer import SpanRecord, TraceRecord
+from repro.obs.tracing.watchdog import Incident, Watchdog
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Picklable arming recipe applied to every testbed of a sweep point."""
+
+    #: Record per-packet lifecycle spans (the CLI's ``--trace``).
+    spans: bool = True
+    #: Trace every K-th packet (the CLI's ``--trace-sample K``).
+    sample_every: int = 1
+    #: Arm the bounded incident ring (the CLI's ``--flight-recorder``).
+    flight: bool = False
+    flight_size: int = DEFAULT_FLIGHT_SIZE
+    #: Detect incidents (lockups, saturation, thrash, zero-goodput).
+    watchdog: bool = True
+    max_spans: int = 200_000
+    max_records: int = 100_000
+
+
+@dataclass
+class TraceSnapshot:
+    """Everything one testbed's tracer collected (picklable)."""
+
+    spans: List[SpanRecord] = field(default_factory=list)
+    events: List[TraceRecord] = field(default_factory=list)
+    incidents: List[Incident] = field(default_factory=list)
+    traces_started: int = 0
+    schema_version: int = 1
+
+
+@dataclass
+class PointTrace:
+    """Traces of one sweep point: one snapshot per testbed it built.
+
+    Points that probe repeatedly (repetitions, bisection searches) build
+    several testbeds; ``snapshots`` lists them in creation order.
+    """
+
+    label: str
+    snapshots: List[TraceSnapshot] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentTrace:
+    """All collected traces of one experiment run."""
+
+    experiment_id: str
+    config: TraceConfig = field(default_factory=TraceConfig)
+    points: List[PointTrace] = field(default_factory=list)
+    schema_version: int = 1
+
+    def incidents(self) -> List[Incident]:
+        """Every incident across all points, in collection order."""
+        return [
+            incident
+            for point in self.points
+            for snapshot in point.snapshots
+            for incident in snapshot.incidents
+        ]
+
+
+class TraceCollector:
+    """Parent-side accumulator passed to ``run(trace=...)``."""
+
+    def __init__(self, config: Optional[TraceConfig] = None):
+        self.config = config if config is not None else TraceConfig()
+        self.points: List[PointTrace] = []
+
+    def add_point(self, label: str, snapshots: List[TraceSnapshot]) -> None:
+        """Deposit one sweep point's snapshots (called by the executor)."""
+        self.points.append(PointTrace(label=label, snapshots=snapshots))
+
+    def clear(self) -> None:
+        """Drop everything collected so far."""
+        self.points.clear()
+
+    def experiment(self, experiment_id: str) -> ExperimentTrace:
+        """Package the collection for archiving."""
+        return ExperimentTrace(
+            experiment_id=experiment_id, config=self.config, points=list(self.points)
+        )
+
+    def incidents(self) -> List[Incident]:
+        """Every incident collected so far, in collection order."""
+        return [
+            incident
+            for point in self.points
+            for snapshot in point.snapshots
+            for incident in snapshot.incidents
+        ]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+# ---------------------------------------------------------------------------
+# Process-local active collection
+# ---------------------------------------------------------------------------
+
+
+class _ActiveTracing:
+    """Tracers armed while one sweep point runs in this process."""
+
+    __slots__ = ("config", "simulators")
+
+    def __init__(self, config: TraceConfig):
+        self.config = config
+        self.simulators: List[Any] = []
+
+
+_ACTIVE: Optional[_ActiveTracing] = None
+
+
+def tracing_active() -> bool:
+    """True while this process is collecting traces for a sweep point."""
+    return _ACTIVE is not None
+
+
+def activate(config: Optional[TraceConfig] = None) -> None:
+    """Begin collecting: testbeds built from now on arm their tracers."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("trace collection is already active in this process")
+    _ACTIVE = _ActiveTracing(config if config is not None else TraceConfig())
+
+
+def deactivate() -> List[TraceSnapshot]:
+    """Stop collecting and snapshot every armed tracer, in creation order."""
+    global _ACTIVE
+    active = _ACTIVE
+    _ACTIVE = None
+    if active is None:
+        return []
+    snapshots = []
+    for sim in active.simulators:
+        snapshots.append(snapshot_tracer(sim.tracer, now=sim.now))
+    return snapshots
+
+
+def snapshot_tracer(tracer, now: Optional[float] = None) -> TraceSnapshot:
+    """Finalize ``tracer``'s watchdog (if any) and package its state."""
+    watchdog = tracer.watchdog
+    if watchdog is not None and now is not None:
+        watchdog.finalize(now)
+    return TraceSnapshot(
+        spans=list(tracer.spans()),
+        events=list(tracer.records()),
+        incidents=list(tracer.incidents),
+        traces_started=tracer.traces_started,
+    )
+
+
+def arm_tracer(sim, config: TraceConfig):
+    """Arm ``sim``'s tracer per ``config`` and return it."""
+    tracer = sim.tracer
+    tracer.configure(
+        spans=config.spans,
+        sample_every=config.sample_every,
+        flight=FlightRecorder(config.flight_size) if config.flight else None,
+        max_records=config.max_records,
+        max_spans=config.max_spans,
+    )
+    if config.watchdog and tracer.watchdog is None:
+        Watchdog(tracer)
+    if sim.metrics is not NULL_REGISTRY:
+        tracer.bridge_metrics(sim.metrics)
+    return tracer
+
+
+def attach_simulator(sim):
+    """Arm ``sim``'s tracer if a trace collection is active in this process.
+
+    Called by :class:`~repro.core.testbed.Testbed` right after the
+    metrics attach (so the histogram bridge can see a real registry when
+    both collections are active).  Returns None when inactive — the
+    testbed then keeps the cold default tracer.
+    """
+    if _ACTIVE is None:
+        return None
+    tracer = arm_tracer(sim, _ACTIVE.config)
+    _ACTIVE.simulators.append(sim)
+    return tracer

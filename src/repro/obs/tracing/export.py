@@ -1,0 +1,170 @@
+"""Trace exporters: Chrome trace-event JSON and flat JSONL.
+
+* :func:`chrome_trace` renders an :class:`~repro.obs.tracing.collect.ExperimentTrace`
+  (or a bare snapshot list) as a Chrome trace-event document loadable in
+  Perfetto / ``chrome://tracing``: each sweep-point testbed becomes a
+  process, each component (host, NIC, link port, switch) a named thread
+  track, each span a complete (``"X"``) event, and each instant event an
+  instant (``"i"``) mark on its component's track.  Timestamps are
+  virtual-time microseconds.
+* :func:`trace_jsonl_lines` flattens the same records to one JSON object
+  per line for ad-hoc ``jq``/pandas analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.obs.tracing.collect import ExperimentTrace, PointTrace, TraceSnapshot
+
+
+def _as_points(trace: Any) -> List[Tuple[str, List[TraceSnapshot]]]:
+    """Normalize the exporter input to ``(label, snapshots)`` pairs."""
+    if isinstance(trace, ExperimentTrace):
+        return [(point.label, point.snapshots) for point in trace.points]
+    if isinstance(trace, PointTrace):
+        return [(trace.label, trace.snapshots)]
+    if isinstance(trace, TraceSnapshot):
+        return [("trace", [trace])]
+    return [("trace", list(trace))]
+
+
+def chrome_trace(trace: Any) -> Dict[str, Any]:
+    """Render a trace collection as a Chrome trace-event document.
+
+    ``trace`` may be an :class:`ExperimentTrace`, a :class:`PointTrace`,
+    a single :class:`TraceSnapshot`, or a list of snapshots.
+    """
+    events: List[Dict[str, Any]] = []
+    pid = 0
+    for label, snapshots in _as_points(trace):
+        for bed_index, snapshot in enumerate(snapshots):
+            pid += 1
+            process = label if len(snapshots) == 1 else f"{label} [bed {bed_index}]"
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "name": "process_name",
+                    "args": {"name": process},
+                }
+            )
+            tids: Dict[str, int] = {}
+            body: List[Dict[str, Any]] = []
+            for span in snapshot.spans:
+                tid = tids.setdefault(span.track, len(tids) + 1)
+                body.append(
+                    {
+                        "name": span.name,
+                        "cat": "packet",
+                        "ph": "X",
+                        "ts": round(span.start * 1e6, 3),
+                        "dur": round(max(0.0, span.end - span.start) * 1e6, 3),
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {
+                            "trace_id": span.trace_id,
+                            "span_id": span.span_id,
+                            "parent_id": span.parent_id,
+                            **span.attrs,
+                        },
+                    }
+                )
+            for record in snapshot.events:
+                tid = tids.setdefault(record.source, len(tids) + 1)
+                body.append(
+                    {
+                        "name": record.event,
+                        "cat": "event",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": round(record.time * 1e6, 3),
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"trace_id": record.trace_id, **record.fields},
+                    }
+                )
+            body.sort(key=lambda entry: (entry["tid"], entry["ts"]))
+            for track, tid in tids.items():
+                events.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "name": "thread_name",
+                        "args": {"name": track},
+                    }
+                )
+            events.extend(body)
+    document: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if isinstance(trace, ExperimentTrace):
+        document["otherData"] = {"experiment": trace.experiment_id}
+    return document
+
+
+def write_chrome_trace(trace: Any, path: str) -> None:
+    """Write :func:`chrome_trace` output to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(trace), handle)
+        handle.write("\n")
+
+
+def trace_jsonl_lines(trace: Any) -> Iterator[str]:
+    """One JSON object per span/event/incident, across all points."""
+    for label, snapshots in _as_points(trace):
+        for bed_index, snapshot in enumerate(snapshots):
+            for span in snapshot.spans:
+                yield json.dumps(
+                    {
+                        "type": "span",
+                        "point": label,
+                        "bed": bed_index,
+                        "trace_id": span.trace_id,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        "name": span.name,
+                        "track": span.track,
+                        "start": span.start,
+                        "end": span.end,
+                        "attrs": span.attrs,
+                    }
+                )
+            for record in snapshot.events:
+                yield json.dumps(
+                    {
+                        "type": "event",
+                        "point": label,
+                        "bed": bed_index,
+                        "trace_id": record.trace_id,
+                        "time": record.time,
+                        "source": record.source,
+                        "event": record.event,
+                        "fields": record.fields,
+                    }
+                )
+            for incident in snapshot.incidents:
+                yield json.dumps(
+                    {
+                        "type": "incident",
+                        "point": label,
+                        "bed": bed_index,
+                        "kind": incident.kind,
+                        "source": incident.source,
+                        "time": incident.time,
+                        "recovered_at": incident.recovered_at,
+                        "detail": incident.detail,
+                        "dump_records": len(incident.dump or ()),
+                    }
+                )
+
+
+def write_trace_jsonl(trace: Any, path: str) -> None:
+    """Write :func:`trace_jsonl_lines` output to ``path``."""
+    with open(path, "w") as handle:
+        for line in trace_jsonl_lines(trace):
+            handle.write(line)
+            handle.write("\n")

@@ -1,0 +1,45 @@
+"""The flight recorder: an always-cheap bounded incident ring.
+
+A :class:`FlightRecorder` keeps the last N trace records (spans and
+events interleaved, in emission order) in a fixed-size ring.  It can be
+armed *without* full tracing — the tracer's ``hot`` flag turns event
+sites on while ``active`` (span retention) stays off — so a long
+unattended sweep pays only the ring append, yet when the watchdog files
+an incident the tracer snapshots the ring into the incident's ``dump``:
+the forensic record of what the component was doing just before it went
+silent.  The dump is taken exactly once per incident, at onset.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, List
+
+#: Default ring bound (records).
+DEFAULT_FLIGHT_SIZE = 2048
+
+
+class FlightRecorder:
+    """Bounded ring of the most recent spans and events."""
+
+    __slots__ = ("size", "_ring")
+
+    def __init__(self, size: int = DEFAULT_FLIGHT_SIZE):
+        if size < 1:
+            raise ValueError(f"flight recorder size must be >= 1, got {size}")
+        self.size = size
+        self._ring: deque = deque(maxlen=size)
+
+    def record(self, record: Any) -> None:
+        """Append one span or event (called by the tracer)."""
+        self._ring.append(record)
+
+    def dump(self) -> List[Any]:
+        """Snapshot the ring, oldest first (called once per incident)."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlightRecorder {len(self._ring)}/{self.size}>"

@@ -16,8 +16,9 @@ on.  The design is deliberately small:
 * :mod:`~repro.sim.units` centralises unit conversions (seconds,
   microseconds, bits-per-second, frame sizes) so magic numbers do not leak
   into the models.
-* :mod:`~repro.sim.trace` is a lightweight structured trace facility used
-  by tests and debugging tools.
+* tracing lives in :mod:`repro.obs.tracing` (``repro.sim.trace`` is a
+  deprecated shim over it); every kernel carries a
+  :class:`~repro.obs.tracing.PacketTracer` at ``sim.tracer``.
 
 All simulation times are ``float`` seconds.  Determinism is guaranteed by a
 monotonically increasing sequence number that breaks ties between events
@@ -28,7 +29,7 @@ from repro.sim.engine import Event, Simulator, SimulationError
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 from repro.sim.timer import PeriodicTimer, Timer
-from repro.sim.trace import TraceRecord, Tracer
+from repro.obs.tracing.tracer import PacketTracer as Tracer, TraceRecord
 
 __all__ = [
     "Event",

@@ -23,7 +23,7 @@ import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.obs.registry import NULL_REGISTRY
-from repro.sim.trace import Tracer
+from repro.obs.tracing.tracer import PacketTracer
 
 
 class SimulationError(RuntimeError):
@@ -143,9 +143,11 @@ class Simulator:
         #: Cumulative count of cancellations (tombstone compaction resets
         #: ``_tombstones`` but never this).
         self.events_cancelled = 0
-        #: Structured trace sink shared by every component built on this
-        #: kernel.  Off by default; flip ``tracer.enabled`` to record.
-        self.tracer = Tracer(enabled=False)
+        #: Packet-lifecycle tracer shared by every component built on
+        #: this kernel (see :mod:`repro.obs.tracing`).  Cold by default;
+        #: flip ``tracer.enabled`` (or arm via the collection plumbing)
+        #: to record.
+        self.tracer = PacketTracer()
         #: Metrics registry shared by every component built on this
         #: kernel.  The null default discards registrations, so component
         #: constructors register unconditionally at zero cost; a testbed

@@ -1,82 +1,25 @@
-"""Structured trace facility.
+"""Deprecated shim: the trace facility moved to :mod:`repro.obs.tracing`.
 
-Components emit ``(time, source, event, fields)`` records.  Tests assert on
-traces instead of scraping stdout; experiment runners can dump traces for
-debugging.  Tracing is off by default and costs one predicate check per
-emit when disabled.
+The flat ``(time, source, event, fields)`` tracer grew into the causal
+packet-lifecycle tracing subsystem (spans, flight recorder, watchdog,
+exporters).  ``Tracer`` is now an alias of
+:class:`repro.obs.tracing.PacketTracer`, which preserves the original
+API (``emit``/``records``/``clear``/``len``/iteration/``add_sink`` and
+the ``enabled`` flag) unchanged; import from ``repro.obs.tracing``
+directly in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+import warnings
 
+from repro.obs.tracing.tracer import PacketTracer as Tracer, TraceRecord
 
-@dataclass(frozen=True)
-class TraceRecord:
-    """A single trace record."""
+warnings.warn(
+    "repro.sim.trace is deprecated; import Tracer/TraceRecord from "
+    "repro.obs.tracing instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-    time: float
-    source: str
-    event: str
-    fields: Dict[str, Any] = field(default_factory=dict)
-
-    def __str__(self) -> str:
-        extras = " ".join(f"{key}={value}" for key, value in sorted(self.fields.items()))
-        return f"[{self.time:.6f}] {self.source} {self.event} {extras}".rstrip()
-
-
-class Tracer:
-    """Collects :class:`TraceRecord` instances, with optional filtering.
-
-    Parameters
-    ----------
-    enabled:
-        When False (default), :meth:`emit` is a no-op.
-    max_records:
-        Ring-buffer bound; oldest records are dropped beyond this.
-    """
-
-    def __init__(self, enabled: bool = False, max_records: int = 100_000):
-        self.enabled = enabled
-        self.max_records = max_records
-        self._records: List[TraceRecord] = []
-        self._sinks: List[Callable[[TraceRecord], None]] = []
-
-    def emit(self, time: float, source: str, event: str, **fields: Any) -> None:
-        """Record an event if tracing is enabled."""
-        if not self.enabled:
-            return
-        record = TraceRecord(time=time, source=source, event=event, fields=fields)
-        self._records.append(record)
-        if len(self._records) > self.max_records:
-            del self._records[: len(self._records) - self.max_records]
-        for sink in self._sinks:
-            sink(record)
-
-    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
-        """Forward every future record to ``sink`` (e.g. ``print``)."""
-        self._sinks.append(sink)
-
-    def records(
-        self,
-        source: Optional[str] = None,
-        event: Optional[str] = None,
-    ) -> List[TraceRecord]:
-        """Return collected records, optionally filtered by source/event."""
-        result = self._records
-        if source is not None:
-            result = [record for record in result if record.source == source]
-        if event is not None:
-            result = [record for record in result if record.event == event]
-        return list(result)
-
-    def clear(self) -> None:
-        """Drop all collected records."""
-        self._records.clear()
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+__all__ = ["TraceRecord", "Tracer"]

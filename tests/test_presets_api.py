@@ -59,8 +59,16 @@ class TestResolvePreset:
 
 
 def _recording_entry(calls):
-    def entry(*, preset, progress=None, jobs=None, metrics=None):
-        calls.append({"preset": preset, "progress": progress, "jobs": jobs, "metrics": metrics})
+    def entry(*, preset, progress=None, jobs=None, metrics=None, trace=None):
+        calls.append(
+            {
+                "preset": preset,
+                "progress": progress,
+                "jobs": jobs,
+                "metrics": metrics,
+                "trace": trace,
+            }
+        )
         return "ran"
 
     return entry
@@ -72,8 +80,10 @@ class TestExperimentSpecRun:
         spec = runner.ExperimentSpec("fig3a", "t", _recording_entry(calls))
         sentinel_progress = lambda line: None  # noqa: E731
         sentinel_metrics = object()
+        sentinel_trace = object()
         result = spec.run(
-            preset="quick", progress=sentinel_progress, jobs=3, metrics=sentinel_metrics
+            preset="quick", progress=sentinel_progress, jobs=3,
+            metrics=sentinel_metrics, trace=sentinel_trace,
         )
         assert result == "ran"
         assert calls == [
@@ -82,6 +92,7 @@ class TestExperimentSpecRun:
                 "progress": sentinel_progress,
                 "jobs": 3,
                 "metrics": sentinel_metrics,
+                "trace": sentinel_trace,
             }
         ]
 

@@ -8,7 +8,7 @@ from hypothesis import given, strategies as st
 from repro.sim import units
 from repro.sim.process import Process, Waiter
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import Tracer
+from repro.obs.tracing import PacketTracer as Tracer
 
 
 class TestRngRegistry:

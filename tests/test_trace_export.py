@@ -1,0 +1,186 @@
+"""Chrome trace-event export round-trips and flight-recorder semantics.
+
+One EFW deny-flood lockup scenario runs with tracing and the flight
+recorder armed; its trace must export to valid Chrome trace-event JSON
+(Perfetto-loadable: consistent ts/dur, one track per component, named
+threads) and to JSONL, and the flight recorder must dump exactly once
+per incident — each lockup gets its own bounded dump ending at its own
+onset.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.flood import FloodGenerator, FloodKind, FloodSpec
+from repro.apps.iperf import IperfServer
+from repro.core.testbed import DeviceKind, Testbed
+from repro.firewall import Action, PortRange, Rule, padded_ruleset
+from repro.net.packet import IpProtocol
+from repro.obs.tracing import (
+    SpanRecord,
+    arm_tracing,
+    chrome_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.tracing.collect import ExperimentTrace, PointTrace, snapshot_tracer
+from repro.obs.tracing.export import trace_jsonl_lines
+
+
+def _deny_policy():
+    ruleset = padded_ruleset(
+        8,
+        action_rule=Rule(
+            action=Action.DENY,
+            protocol=IpProtocol.TCP,
+            dst_ports=PortRange.single(7777),
+            symmetric=True,
+            name="deny-flood",
+        ),
+    )
+    with ruleset.mutate() as edit:
+        edit.append(
+            Rule(
+                action=Action.ALLOW,
+                protocol=IpProtocol.TCP,
+                dst_ports=PortRange.single(5001),
+                symmetric=True,
+                name="allow-iperf",
+            )
+        )
+    return ruleset
+
+
+@pytest.fixture(scope="module")
+def lockup_run():
+    """Flood a deny-all EFW into lockup twice; return (tracer, trace)."""
+    bed = Testbed(device=DeviceKind.EFW)
+    tracer = arm_tracing(bed.sim, sample_every=4, flight=True)
+    bed.install_target_policy(_deny_policy())
+    IperfServer(bed.target)
+    flood = FloodGenerator(
+        bed.attacker, FloodSpec(kind=FloodKind.TCP_ACK, dst_port=7777)
+    )
+    flood.start(bed.target.ip, rate_pps=2000)
+    bed.run(0.3)
+    flood.stop()
+    bed.restart_target_agent()
+    bed.run(0.05)
+    flood.start(bed.target.ip, rate_pps=2000)
+    bed.run(0.3)
+    flood.stop()
+    snapshot = snapshot_tracer(tracer, now=bed.sim.now)
+    trace = ExperimentTrace(
+        experiment_id="lockup-test",
+        points=[PointTrace(label="efw deny-all", snapshots=[snapshot])],
+    )
+    return tracer, trace
+
+
+class TestChromeExport:
+    def test_round_trips_as_valid_json(self, lockup_run):
+        _, trace = lockup_run
+        payload = chrome_trace(trace)
+        reparsed = json.loads(json.dumps(payload))
+        assert reparsed["displayTimeUnit"] == "ms"
+        assert reparsed["otherData"]["experiment"] == "lockup-test"
+        assert len(reparsed["traceEvents"]) > 0
+
+    def test_ts_and_dur_are_consistent(self, lockup_run):
+        _, trace = lockup_run
+        events = chrome_trace(trace)["traceEvents"]
+        completes = [e for e in events if e["ph"] == "X"]
+        assert completes
+        for event in completes:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+        # Within each track, complete events are laid out in
+        # monotonically non-decreasing timestamp order.
+        last_ts = {}
+        for event in completes:
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= last_ts.get(key, 0)
+            last_ts[key] = event["ts"]
+
+    def test_one_named_track_per_component(self, lockup_run):
+        _, trace = lockup_run
+        events = chrome_trace(trace)["traceEvents"]
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        used = {
+            (e["pid"], e["tid"]) for e in events if e["ph"] in ("X", "i")
+        }
+        # Every track that carries data is named, exactly once.
+        assert used <= set(thread_names)
+        names = set(thread_names.values())
+        assert "target.efw" in names  # the NIC has its own track
+        assert len(names) == len(thread_names)  # no two tids share a name
+
+    def test_instant_events_carry_thread_scope(self, lockup_run):
+        _, trace = lockup_run
+        events = chrome_trace(trace)["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants
+        assert all(e["s"] == "t" for e in instants)
+        assert any(e["name"] == "lockup" for e in instants)
+
+    def test_writers_produce_loadable_files(self, lockup_run, tmp_path):
+        _, trace = lockup_run
+        chrome_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        write_chrome_trace(trace, str(chrome_path))
+        write_trace_jsonl(trace, str(jsonl_path))
+        assert json.loads(chrome_path.read_text())["traceEvents"]
+        lines = jsonl_path.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(line)["type"] for line in lines}
+        assert kinds >= {"span", "event", "incident"}
+
+
+class TestJsonlExport:
+    def test_every_line_is_self_describing(self, lockup_run):
+        _, trace = lockup_run
+        for line in trace_jsonl_lines(trace):
+            parsed = json.loads(line)
+            assert parsed["type"] in ("span", "event", "incident")
+            assert parsed["point"] == "efw deny-all"
+
+
+class TestFlightRecorder:
+    def test_dumps_exactly_once_per_incident(self, lockup_run):
+        tracer, _ = lockup_run
+        lockups = [i for i in tracer.incidents if i.kind == "lockup"]
+        assert len(lockups) == 2
+        first, second = lockups
+        assert first.dump is not None and second.dump is not None
+        # Each dump is a distinct snapshot frozen at that incident's
+        # onset: the final entry is that lockup's own event.
+        assert first.dump is not second.dump
+        assert first.dump[-1].event == "lockup"
+        assert second.dump[-1].event == "lockup"
+        assert first.dump[-1].time < second.dump[-1].time
+
+    def test_restart_stamps_recovery_on_first_lockup_only(self, lockup_run):
+        tracer, _ = lockup_run
+        first, second = [i for i in tracer.incidents if i.kind == "lockup"]
+        assert first.recovered_at is not None
+        assert second.recovered_at is None
+
+    def test_last_stage_attribution(self, lockup_run):
+        tracer, _ = lockup_run
+        first = [i for i in tracer.incidents if i.kind == "lockup"][0]
+        last_stage = first.detail.get("last_stage")
+        assert last_stage, "incident should attribute the last span before silence"
+        stage = last_stage.split("@")[0]
+        assert stage in (
+            "app.send", "nic.tx", "link.tx", "switch.forward", "nic.rx",
+            "app.deliver",
+        )
+        # The dump really does contain a span with that stage name.
+        assert any(
+            isinstance(r, SpanRecord) and r.name == stage for r in first.dump
+        )
