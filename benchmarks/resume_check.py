@@ -1,0 +1,134 @@
+"""CI crash-resume check: kill a worker mid-sweep, resume, diff output.
+
+Three phases over a real (quick-sized) Figure-2-style grid:
+
+A. a clean uninterrupted run — the reference envelope;
+B. a checkpointed run with an injected worker crash (SIGKILL from inside
+   one point) in ``on_failure="record"`` mode — every *other* point must
+   land in the checkpoint and the crashed point must be named;
+C. a resumed run over the same grid (the crash is disarmed by its marker
+   file) — it must restore every completed point from the checkpoint,
+   re-run only the crashed one, and serialize byte-identically to A.
+
+Run as a script (exit 0 = pass):
+
+    PYTHONPATH=src python benchmarks/resume_check.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import tempfile
+
+from repro.core.checkpoint import SweepCheckpoint
+from repro.core.parallel import PointFailure, SweepExecutor, SweepPointSpec
+from repro.core.testbed import DeviceKind
+from repro.experiments.fig2_bandwidth import _depth_point
+from repro.experiments.presets import QUICK, Preset
+from repro.experiments.results import to_json
+
+DEPTHS = (1, 8, 16)
+PLANS = (("EFW", DeviceKind.EFW), ("ADF", DeviceKind.ADF))
+CRASH_LABEL = "resume-check: ADF depth=8"
+
+
+CRASH_DEVICE = DeviceKind.ADF
+CRASH_DEPTH = 8
+
+
+def crashing_depth_point(device, depth, settings, marker):
+    """A real fig2 bandwidth point that SIGKILLs its worker once.
+
+    Only the (``CRASH_DEVICE``, ``CRASH_DEPTH``) point crashes, and only
+    while ``marker`` does not exist; the file is created first, so the
+    resumed run measures normally.
+    """
+    if device is CRASH_DEVICE and depth == CRASH_DEPTH and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _depth_point(device=device, depth=depth, settings=settings)
+
+
+def build_specs(settings, marker):
+    return [
+        SweepPointSpec(
+            label=f"resume-check: {label} depth={depth}",
+            fn=crashing_depth_point,
+            kwargs={
+                "device": device,
+                "depth": depth,
+                "settings": settings,
+                "marker": marker,
+            },
+        )
+        for label, device in PLANS
+        for depth in DEPTHS
+    ]
+
+
+def main() -> int:
+    settings = QUICK.get("fig2", Preset(name="quick")).measurement()
+    workdir = tempfile.mkdtemp(prefix="resume_check_")
+    checkpoint_path = os.path.join(workdir, "checkpoint.jsonl")
+    disarmed = os.path.join(workdir, "disarmed")
+    armed = os.path.join(workdir, "armed")
+    with open(disarmed, "w"):
+        pass
+
+    total = len(PLANS) * len(DEPTHS)
+
+    print(f"[A] clean run ({total} points) ...")
+    clean = SweepExecutor(jobs=2).run(build_specs(settings, disarmed))
+    clean_json = to_json(clean)
+
+    print("[B] checkpointed run with injected worker crash ...")
+    specs = build_specs(settings, armed)
+    crash_index = next(i for i, s in enumerate(specs) if s.label == CRASH_LABEL)
+    with SweepCheckpoint(checkpoint_path, resume=False) as checkpoint:
+        executor = SweepExecutor(
+            jobs=2, checkpoint=checkpoint, on_failure="record"
+        )
+        crashed = executor.run(specs)
+    failure = crashed[crash_index]
+    assert isinstance(failure, PointFailure), (
+        f"expected a PointFailure at index {crash_index}, got {failure!r}"
+    )
+    assert failure.kind == "worker-died", failure.kind
+    assert failure.label == CRASH_LABEL, failure.label
+    assert executor.stats.worker_deaths == 1, executor.stats
+    survivors = [v for i, v in enumerate(crashed) if i != crash_index]
+    assert all(not isinstance(v, PointFailure) for v in survivors), (
+        "a non-crashed point failed"
+    )
+    preserved = len(SweepCheckpoint(checkpoint_path))
+    assert preserved == total - 1, (
+        f"checkpoint lost completed work: {preserved} of {total - 1} points"
+    )
+    print(
+        f"    crash detected at point {crash_index + 1} ({failure.label}); "
+        f"{preserved}/{total - 1} completed points checkpointed"
+    )
+
+    print("[C] resumed run (crash disarmed) ...")
+    with SweepCheckpoint(checkpoint_path, resume=True) as checkpoint:
+        executor = SweepExecutor(jobs=2, checkpoint=checkpoint)
+        resumed = executor.run(build_specs(settings, armed))
+    assert executor.stats.resumed == total - 1, executor.stats
+    resumed_json = to_json(resumed)
+    assert resumed_json == clean_json, (
+        "resumed envelope differs from the clean run:\n"
+        f"--- clean ---\n{clean_json}\n--- resumed ---\n{resumed_json}"
+    )
+    print(
+        f"    restored {executor.stats.resumed} points, re-ran 1; "
+        "envelope is byte-identical to the clean run"
+    )
+    print("resume_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

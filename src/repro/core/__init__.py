@@ -16,6 +16,7 @@ Public API:
 
 from repro import calibration
 from repro.core import metrics, reports
+from repro.core.checkpoint import SweepCheckpoint
 from repro.core.methodology import (
     BandwidthMeasurement,
     FloodToleranceValidator,
@@ -26,24 +27,38 @@ from repro.core.methodology import (
     ValidationReport,
     VPG_MSS,
 )
-from repro.core.parallel import SweepExecutor, SweepPointSpec, derive_seed, resolve_jobs
+from repro.core.parallel import (
+    CompletedPoint,
+    PointFailure,
+    SweepError,
+    SweepExecutor,
+    SweepPointSpec,
+    SweepStats,
+    derive_seed,
+    resolve_jobs,
+)
 from repro.core.sweeps import Sweep, SweepPoint
 from repro.core.throughput import ThroughputResult, ThroughputTester, TrialResult
 from repro.core.testbed import STATIONS, DeviceKind, Testbed
 
 __all__ = [
     "BandwidthMeasurement",
+    "CompletedPoint",
     "DeviceKind",
     "FloodToleranceValidator",
     "HttpMeasurement",
     "LatencyMeasurement",
     "MeasurementSettings",
     "MinimumFloodResult",
+    "PointFailure",
     "STATIONS",
     "Sweep",
+    "SweepCheckpoint",
+    "SweepError",
     "SweepExecutor",
     "SweepPoint",
     "SweepPointSpec",
+    "SweepStats",
     "Testbed",
     "ThroughputResult",
     "ThroughputTester",

@@ -8,16 +8,20 @@ the shared machinery behind every figure/table module in
 
 Grids whose callable is picklable can be evaluated by a process pool
 (``jobs > 1``); point order, recorded parameters and results are
-identical to a serial run (see :mod:`repro.core.parallel`).
+identical to a serial run (see :mod:`repro.core.parallel`).  The
+executor's fault-tolerance knobs — ``retries``, ``point_timeout``,
+``checkpoint``, ``on_failure`` — and its ``metrics``/``trace``
+collectors pass straight through.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.parallel import SweepExecutor, SweepPointSpec
+from repro.core.checkpoint import SweepCheckpoint
+from repro.core.parallel import ON_FAILURE_RAISE, SweepExecutor, SweepPointSpec
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,12 @@ class Sweep:
     Parallel evaluation requires a picklable ``fn``; closures and lambdas
     degrade to the serial loop with identical results.
 
+    Each :meth:`run` call replaces :attr:`points` with the new grid's
+    records (a reused ``Sweep`` never mixes grids in :meth:`series`).
+    ``metrics``/``trace`` collectors and the fault-tolerance knobs
+    (``retries``, ``point_timeout``, ``checkpoint``, ``on_failure``)
+    forward to the :class:`~repro.core.parallel.SweepExecutor`.
+
     Examples
     --------
     >>> sweep = Sweep(lambda a, b: a * b)
@@ -56,6 +66,12 @@ class Sweep:
     progress: Optional[Callable[[str], None]] = None
     points: List[SweepPoint] = field(default_factory=list)
     jobs: Optional[int] = 1
+    metrics: Any = None
+    trace: Any = None
+    retries: int = 0
+    point_timeout: Optional[float] = None
+    checkpoint: Union[SweepCheckpoint, str, None] = None
+    on_failure: str = ON_FAILURE_RAISE
 
     def run(self, grid: Dict[str, Iterable[Any]]) -> List[SweepPoint]:
         """Evaluate over the grid's cross product (insertion order)."""
@@ -70,10 +86,21 @@ class Sweep:
             )
             for params in params_list
         ]
-        executor = SweepExecutor(jobs=self.jobs, progress=self.progress)
+        executor = SweepExecutor(
+            jobs=self.jobs,
+            progress=self.progress,
+            metrics=self.metrics,
+            trace=self.trace,
+            retries=self.retries,
+            point_timeout=self.point_timeout,
+            checkpoint=self.checkpoint,
+            on_failure=self.on_failure,
+        )
         results = executor.run(specs)
-        for params, result in zip(params_list, results):
-            self.points.append(SweepPoint(params=params, result=result))
+        self.points = [
+            SweepPoint(params=params, result=result)
+            for params, result in zip(params_list, results)
+        ]
         return list(self.points)
 
     def series(

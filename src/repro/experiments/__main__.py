@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR] [--metrics DIR] [--trace DIR] [--trace-sample K] [--flight-recorder] [--no-compiled-matcher]``."""
+"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR] [--metrics DIR] [--trace DIR] [--trace-sample K] [--flight-recorder] [--no-compiled-matcher] [--checkpoint DIR] [--resume] [--retries N] [--point-timeout S] [--keep-going]``."""
 
 from __future__ import annotations
 
@@ -7,7 +7,8 @@ import os
 import sys
 import time
 
-from repro.core.parallel import JOBS_ENV_VAR, resolve_jobs
+from repro.core.checkpoint import SweepCheckpoint
+from repro.core.parallel import JOBS_ENV_VAR, SweepError, resolve_jobs
 from repro.firewall.compiled import set_compiled_enabled
 from repro.experiments.figures import plot_result
 from repro.experiments.results import write_json
@@ -106,6 +107,54 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help=(
+            "append each completed sweep point to DIR/<id>_checkpoint.jsonl "
+            "as it finishes, so an interrupted run can be resumed; without "
+            "--resume an existing checkpoint is overwritten"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "restore completed points from the --checkpoint file instead of "
+            "re-running them; the resumed output is byte-identical to an "
+            "uninterrupted run"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "re-run a failed, timed-out, or crashed sweep point up to N times "
+            "with its identical deterministic seed (default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "kill a sweep point's worker after SECONDS wall-clock and retry "
+            "or fail the point (needs worker processes; ignored with --jobs 1)"
+        ),
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "on exhausted retries, record a per-point failure and keep "
+            "sweeping instead of aborting the experiment; completed points "
+            "are always preserved either way"
+        ),
+    )
+    parser.add_argument(
         "--plot",
         action="store_true",
         help="print ASCII charts for the figure experiments",
@@ -128,6 +177,12 @@ def main(argv=None) -> int:
         set_compiled_enabled(False)
     if args.trace_sample is not None and args.trace_sample < 1:
         parser.error("--trace-sample must be >= 1")
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint DIR")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.point_timeout is not None and args.point_timeout <= 0:
+        parser.error("--point-timeout must be > 0 seconds")
 
     selected = args.ids
     if "all" in selected:
@@ -138,6 +193,8 @@ def main(argv=None) -> int:
         os.makedirs(args.metrics, exist_ok=True)
     if args.trace is not None:
         os.makedirs(args.trace, exist_ok=True)
+    if args.checkpoint is not None:
+        os.makedirs(args.checkpoint, exist_ok=True)
     tracing = args.trace is not None or args.flight_recorder
     trace_config = TraceConfig(
         spans=args.trace is not None,
@@ -150,15 +207,39 @@ def main(argv=None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
     progress = None if args.no_progress else lambda line: print(f"  .. {line}", file=sys.stderr)
+    exit_code = 0
     for experiment_id in selected:
         started = time.time()
         print(f"== {experiment_id} (jobs={jobs}) ==", file=sys.stderr)
         collector = MetricsCollector() if args.metrics is not None else None
         tracer = TraceCollector(trace_config) if trace_config is not None else None
-        result = run_experiment_result(
-            experiment_id, quick=args.quick, progress=progress, jobs=jobs,
-            metrics=collector, trace=tracer,
-        )
+        checkpoint = None
+        if args.checkpoint is not None:
+            checkpoint = SweepCheckpoint(
+                os.path.join(args.checkpoint, f"{experiment_id}_checkpoint.jsonl"),
+                resume=args.resume,
+            )
+        try:
+            result = run_experiment_result(
+                experiment_id, quick=args.quick, progress=progress, jobs=jobs,
+                metrics=collector, trace=tracer,
+                checkpoint=checkpoint, retries=args.retries,
+                point_timeout=args.point_timeout,
+                on_failure="record" if args.keep_going else "raise",
+            )
+        except SweepError as exc:
+            print(f"  !! {experiment_id}: {exc}", file=sys.stderr)
+            if checkpoint is not None:
+                print(
+                    f"  !! completed points are checkpointed; re-run with "
+                    f"--checkpoint {args.checkpoint} --resume to continue",
+                    file=sys.stderr,
+                )
+            exit_code = 1
+            continue
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         elapsed = time.time() - started
         print(render_result(result))
         if args.plot:
@@ -211,7 +292,7 @@ def main(argv=None) -> int:
                     file=sys.stderr,
                 )
         print(f"({experiment_id} took {elapsed:.1f}s)\n", file=sys.stderr)
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

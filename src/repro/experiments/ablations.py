@@ -71,6 +71,10 @@ def response_traffic(
     jobs: Optional[int] = None,
     metrics=None,
     trace=None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> AblationResult:
     """Allowed-flood minimum DoS rate, with and without host responses.
 
@@ -96,7 +100,11 @@ def response_traffic(
             kwargs={"settings": settings, "depth": depth},
         ),
     ]
-    allow, deny, muted = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
+    allow, deny, muted = SweepExecutor(
+        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
+        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
+        on_failure=on_failure,
+    ).run(specs)
     result = AblationResult(name="response-traffic (ADF)", unit="min DoS flood (pps)")
     result.outcomes["allowed flood, responses ON"] = allow
     result.outcomes["denied flood (reference)"] = deny
@@ -166,6 +174,10 @@ def lazy_decrypt(
     jobs: Optional[int] = None,
     metrics=None,
     trace=None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> AblationResult:
     """ADF VPG bandwidth with lazy vs. eager decryption."""
     settings = settings if settings is not None else MeasurementSettings()
@@ -180,7 +192,11 @@ def lazy_decrypt(
         )
         for lazy, vpg_count in plans
     ]
-    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
+    values = SweepExecutor(
+        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
+        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
+        on_failure=on_failure,
+    ).run(specs)
     result = AblationResult(name="lazy-decrypt", unit="bandwidth (Mbps)")
     for (lazy, vpg_count), mbps in zip(plans, values):
         mode = "lazy" if lazy else "eager"
@@ -202,6 +218,10 @@ def ring_size(
     jobs: Optional[int] = None,
     metrics=None,
     trace=None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> AblationResult:
     """Bandwidth under a near-saturating flood as the RX ring grows."""
     settings = settings if settings is not None else MeasurementSettings()
@@ -213,7 +233,11 @@ def ring_size(
         )
         for size in ring_sizes
     ]
-    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
+    values = SweepExecutor(
+        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
+        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
+        on_failure=on_failure,
+    ).run(specs)
     result = AblationResult(
         name=f"ring-size (flood {flood_rate:,.0f} pps)", unit="bandwidth (Mbps)"
     )
@@ -292,6 +316,10 @@ def stateful_firewall(
     jobs: Optional[int] = None,
     metrics=None,
     trace=None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> AblationResult:
     """Stateless vs. stateful iptables: CPU cost and state exhaustion.
 
@@ -319,7 +347,11 @@ def stateful_firewall(
             kwargs={"settings": settings},
         ),
     ]
-    executor = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace)
+    executor = SweepExecutor(
+        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
+        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
+        on_failure=on_failure,
+    )
     (stateless_mbps, stateless_cpu), (stateful_mbps, stateful_cpu), exhaustion = (
         executor.run(specs)
     )
@@ -342,12 +374,25 @@ def run(
     jobs: Optional[int] = None,
     metrics=None,
     trace=None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> List[AblationResult]:
     """Run all four ablations (grid knobs: ``vpg_counts``, ``ring_sizes``,
     ``stateful_depth``)."""
     preset = preset if preset is not None else FULL
     settings = preset.settings
-    common = {"progress": progress, "jobs": jobs, "metrics": metrics, "trace": trace}
+    common = {
+        "progress": progress,
+        "jobs": jobs,
+        "metrics": metrics,
+        "trace": trace,
+        "checkpoint": checkpoint,
+        "retries": retries,
+        "point_timeout": point_timeout,
+        "on_failure": on_failure,
+    }
     return [
         response_traffic(settings, **common),
         lazy_decrypt(settings, vpg_counts=preset.grid("vpg_counts", (1, 4, 8)), **common),

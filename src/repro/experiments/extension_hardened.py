@@ -119,12 +119,18 @@ def run(
     jobs: Optional[int] = None,
     metrics=None,
     trace=None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> HardenedResult:
     """Run the extension comparison (grid knob: ``depths``).
 
     ``jobs`` selects the worker-process count (1 = serial; None = auto)
     and ``metrics`` an optional collector; results are identical for any
-    value of either.
+    value of either.  ``checkpoint``/``retries``/``point_timeout``/
+    ``on_failure`` configure fault tolerance (see
+    :class:`~repro.core.parallel.SweepExecutor`).
     """
     preset = preset if preset is not None else FULL
     settings = preset.measurement()
@@ -139,7 +145,11 @@ def run(
         for label, device in plans
         for depth in depths
     ]
-    points = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
+    points = SweepExecutor(
+        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
+        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
+        on_failure=on_failure,
+    ).run(specs)
     result = HardenedResult()
     cursor = iter(points)
     for label, _device in plans:

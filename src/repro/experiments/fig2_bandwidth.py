@@ -68,12 +68,18 @@ def run(
     jobs: Optional[int] = None,
     metrics=None,
     trace=None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> Fig2Result:
     """Regenerate Figure 2 (grid knobs: ``depths``, ``vpg_counts``).
 
     ``jobs`` selects the worker-process count (1 = serial; None = auto)
     and ``metrics`` an optional collector; results are identical for any
-    value of either.
+    value of either.  ``checkpoint``/``retries``/``point_timeout``/
+    ``on_failure`` configure fault tolerance (see
+    :class:`~repro.core.parallel.SweepExecutor`).
     """
     preset = preset if preset is not None else FULL
     settings = preset.measurement()
@@ -101,7 +107,11 @@ def run(
         )
         for vpg_count in vpg_counts
     )
-    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
+    values = SweepExecutor(
+        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
+        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
+        on_failure=on_failure,
+    ).run(specs)
     result = Fig2Result()
     cursor = iter(values)
     for label, _device in plans:

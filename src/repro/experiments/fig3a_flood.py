@@ -70,13 +70,19 @@ def run(
     jobs: Optional[int] = None,
     metrics=None,
     trace=None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> Fig3aResult:
     """Regenerate Figure 3a (grid knobs: ``flood_rates``, ``repetitions``).
 
     ``jobs`` selects the worker-process count (1 = serial; None = auto)
     and ``metrics`` an optional collector.  Every point is an isolated
     deterministic simulation, so the result is identical for any value
-    of either.
+    of either.  ``checkpoint``/``retries``/``point_timeout``/
+    ``on_failure`` configure fault tolerance (see
+    :class:`~repro.core.parallel.SweepExecutor`).
     """
     preset = preset if preset is not None else FULL
     flood_rates = preset.grid("flood_rates", DEFAULT_FLOOD_RATES)
@@ -113,7 +119,11 @@ def run(
         for label, device, vpg_count in plans
         for rate in flood_rates
     ]
-    values = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
+    values = SweepExecutor(
+        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
+        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
+        on_failure=on_failure,
+    ).run(specs)
     result = Fig3aResult()
     cursor = iter(values)
     for label, _device, _vpg_count in plans:

@@ -83,6 +83,10 @@ def run(
     jobs: Optional[int] = None,
     metrics=None,
     trace=None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> Fig3bResult:
     """Regenerate Figure 3b (grid knobs: ``depths``, ``probe_duration``).
 
@@ -90,7 +94,9 @@ def run(
     search; the DoS verdict is insensitive to the window length.
     ``jobs`` selects the worker-process count (1 = serial; None = auto)
     and ``metrics`` an optional collector; results are identical for any
-    value of either.
+    value of either.  ``checkpoint``/``retries``/``point_timeout``/
+    ``on_failure`` configure fault tolerance (see
+    :class:`~repro.core.parallel.SweepExecutor`).
     """
     preset = preset if preset is not None else FULL
     settings = preset.measurement()
@@ -119,7 +125,11 @@ def run(
         for label, device, flood_allowed in plans
         for depth in depths
     ]
-    searches = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
+    searches = SweepExecutor(
+        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
+        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
+        on_failure=on_failure,
+    ).run(specs)
     result = Fig3bResult()
     cursor = iter(searches)
     for label, _device, _flood_allowed in plans:

@@ -110,7 +110,7 @@ def _build_type_registry() -> Dict[str, Type]:
     Imported lazily to keep module import light and avoid cycles (the
     experiment modules import this one).
     """
-    from repro.core import methodology, metrics, throughput
+    from repro.core import methodology, metrics, parallel, throughput
     from repro.experiments import (
         ablations,
         extension_hardened,
@@ -128,6 +128,7 @@ def _build_type_registry() -> Dict[str, Type]:
     modules = (
         methodology,
         metrics,
+        parallel,
         throughput,
         fig2_bandwidth,
         fig3a_flood,

@@ -9,7 +9,12 @@ entry point follows the shared keyword contract::
 
 ``preset`` is a :class:`~repro.experiments.presets.Preset` (or the names
 "full"/"quick"); the quick grids live in
-:mod:`repro.experiments.presets`.  ``metrics`` is an optional
+:mod:`repro.experiments.presets`.  ``checkpoint``/``retries``/
+``point_timeout``/``on_failure`` configure the sweep executor's fault
+tolerance (per-point retries with identical seeds, wall-clock watchdog,
+JSONL checkpoint/resume; see :class:`~repro.core.parallel.SweepExecutor`
+and the CLI's ``--checkpoint``/``--resume``/``--retries``/
+``--point-timeout``/``--keep-going``).  ``metrics`` is an optional
 :class:`~repro.obs.collect.MetricsCollector` that receives per-sweep
 time series; ``trace`` an optional
 :class:`~repro.obs.tracing.collect.TraceCollector` that receives
@@ -64,11 +69,23 @@ class ExperimentSpec:
         jobs: Jobs = None,
         metrics=None,
         trace=None,
+        checkpoint=None,
+        retries: int = 0,
+        point_timeout: Optional[float] = None,
+        on_failure: str = "raise",
     ) -> Any:
         """Run the experiment and return its raw result object."""
         resolved = resolve_preset(self.experiment_id, preset)
         return self.entry(
-            preset=resolved, progress=progress, jobs=jobs, metrics=metrics, trace=trace
+            preset=resolved,
+            progress=progress,
+            jobs=jobs,
+            metrics=metrics,
+            trace=trace,
+            checkpoint=checkpoint,
+            retries=retries,
+            point_timeout=point_timeout,
+            on_failure=on_failure,
         )
 
 
@@ -131,6 +148,10 @@ def run_experiment_result(
     metrics=None,
     trace=None,
     preset: PresetLike = None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> Any:
     """Run one experiment and return its raw result object.
 
@@ -138,6 +159,8 @@ def run_experiment_result(
     ``jobs`` is the sweep worker-process count: 1 = serial, None = auto
     (``REPRO_JOBS`` or the CPU count).  Any value yields the same result,
     with or without a ``metrics`` or ``trace`` collector.
+    ``checkpoint``/``retries``/``point_timeout``/``on_failure`` configure
+    fault tolerance (see :class:`~repro.core.parallel.SweepExecutor`).
     """
     spec = REGISTRY.get(experiment_id)
     if spec is None:
@@ -147,7 +170,15 @@ def run_experiment_result(
     if preset is None:
         preset = "quick" if quick else "full"
     return spec.run(
-        preset=preset, progress=progress, jobs=jobs, metrics=metrics, trace=trace
+        preset=preset,
+        progress=progress,
+        jobs=jobs,
+        metrics=metrics,
+        trace=trace,
+        checkpoint=checkpoint,
+        retries=retries,
+        point_timeout=point_timeout,
+        on_failure=on_failure,
     )
 
 

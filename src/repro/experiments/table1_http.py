@@ -83,12 +83,18 @@ def run(
     jobs: Optional[int] = None,
     metrics=None,
     trace=None,
+    checkpoint=None,
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> Table1Result:
     """Regenerate Table 1 (grid knobs: ``depths``, ``vpg_counts``).
 
     ``jobs`` selects the worker-process count (1 = serial; None = auto)
     and ``metrics`` an optional collector; results are identical for any
-    value of either.
+    value of either.  ``checkpoint``/``retries``/``point_timeout``/
+    ``on_failure`` configure fault tolerance (see
+    :class:`~repro.core.parallel.SweepExecutor`).
     """
     preset = preset if preset is not None else FULL
     settings = preset.measurement()
@@ -116,7 +122,11 @@ def run(
         spec(f"table1: ADF VPG count={vpg_count}", DeviceKind.ADF, vpg_count=vpg_count)
         for vpg_count in vpg_counts
     )
-    measurements = SweepExecutor(jobs=jobs, progress=progress, metrics=metrics, trace=trace).run(specs)
+    measurements = SweepExecutor(
+        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
+        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
+        on_failure=on_failure,
+    ).run(specs)
     result = Table1Result()
     result.standard_nic = measurements[0]
     result.adf_standard = measurements[1 : 1 + len(depths)]

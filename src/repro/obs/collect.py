@@ -23,7 +23,7 @@ one code path, one result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.instrument import instrument_simulator
 from repro.obs.registry import MetricsRegistry
@@ -54,6 +54,10 @@ class ExperimentMetrics:
     interval: float
     points: List[PointMetrics] = field(default_factory=list)
     schema_version: int = 1
+    #: Parent-side sweep-execution counters (``sweep_point_retries``,
+    #: ``sweep_point_timeouts``, ``sweep_point_failures``,
+    #: ``sweep_worker_deaths``, ``sweep_points_resumed``).
+    executor: Dict[str, float] = field(default_factory=dict)
 
 
 class MetricsCollector:
@@ -63,6 +67,11 @@ class MetricsCollector:
     ----------
     interval:
         Virtual-time sampling interval forwarded to every sampler.
+
+    Besides the per-point snapshots, the collector carries
+    ``executor_registry`` — a parent-process :class:`MetricsRegistry`
+    into which the sweep executor mirrors its fault-handling counters
+    (retries, timeouts, failures, worker deaths, resumed points).
     """
 
     def __init__(self, interval: float = DEFAULT_SAMPLE_INTERVAL):
@@ -70,6 +79,7 @@ class MetricsCollector:
             raise ValueError(f"sample interval must be positive, got {interval}")
         self.interval = float(interval)
         self.points: List[PointMetrics] = []
+        self.executor_registry = MetricsRegistry()
 
     def add_point(self, label: str, snapshots: List[MetricsSnapshot]) -> None:
         """Deposit one sweep point's snapshots (called by the executor)."""
@@ -78,11 +88,15 @@ class MetricsCollector:
     def clear(self) -> None:
         """Drop everything collected so far."""
         self.points.clear()
+        self.executor_registry = MetricsRegistry()
 
     def experiment(self, experiment_id: str) -> ExperimentMetrics:
         """Package the collection for archiving."""
         return ExperimentMetrics(
-            experiment_id=experiment_id, interval=self.interval, points=list(self.points)
+            experiment_id=experiment_id,
+            interval=self.interval,
+            points=list(self.points),
+            executor=self.executor_registry.read_all(),
         )
 
     def __len__(self) -> int:

@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.parallel import (
     JOBS_ENV_VAR,
+    SweepError,
     SweepExecutor,
     SweepPointSpec,
     derive_seed,
@@ -44,9 +45,19 @@ class TestResolveJobs:
         monkeypatch.setenv(JOBS_ENV_VAR, "7")
         assert resolve_jobs(3) == 3
 
-    def test_explicit_argument_clamps_to_one(self):
-        assert resolve_jobs(0) == 1
-        assert resolve_jobs(-4) == 1
+    def test_explicit_zero_or_negative_raises(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(0)
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-4)
+
+    def test_env_zero_or_negative_raises(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "0")
+        with pytest.raises(ValueError, match=JOBS_ENV_VAR):
+            resolve_jobs()
+        monkeypatch.setenv(JOBS_ENV_VAR, "-2")
+        with pytest.raises(ValueError, match=JOBS_ENV_VAR):
+            resolve_jobs()
 
     def test_env_var_used_when_no_argument(self, monkeypatch):
         monkeypatch.setenv(JOBS_ENV_VAR, "5")
@@ -111,17 +122,32 @@ class TestSweepExecutor:
         assert captured == [1, 2]
 
     def test_worker_exception_propagates_serial(self):
-        spec = SweepPointSpec(label="boom", fn=_fail, kwargs={"message": "bad point"})
-        with pytest.raises(ValueError, match="bad point"):
-            SweepExecutor(jobs=1).run([spec, spec])
+        specs = [
+            SweepPointSpec(label="ok", fn=_square, kwargs={"x": 2}),
+            SweepPointSpec(label="boom", fn=_fail, kwargs={"message": "bad point"}),
+        ]
+        with pytest.raises(SweepError, match="bad point") as excinfo:
+            SweepExecutor(jobs=1).run(specs)
+        # The error names the failing point and preserves completed work.
+        assert "boom" in str(excinfo.value)
+        assert "point 2" in str(excinfo.value)
+        assert excinfo.value.failure.label == "boom"
+        assert excinfo.value.failure.index == 1
+        assert [(p.index, p.label, p.value) for p in excinfo.value.completed] == [
+            (0, "ok", 4)
+        ]
 
     def test_worker_exception_propagates_parallel(self):
         specs = [
             SweepPointSpec(label="ok", fn=_square, kwargs={"x": 2}),
             SweepPointSpec(label="boom", fn=_fail, kwargs={"message": "bad point"}),
         ]
-        with pytest.raises(ValueError, match="bad point"):
+        with pytest.raises(SweepError, match="bad point") as excinfo:
             SweepExecutor(jobs=2).run(specs)
+        assert excinfo.value.failure.label == "boom"
+        assert (0, "ok", 4) in [
+            (p.index, p.label, p.value) for p in excinfo.value.completed
+        ]
 
     def test_single_spec_runs_inline(self):
         assert SweepExecutor(jobs=8).run(_specs([5])) == [25]

@@ -59,7 +59,18 @@ class TestResolvePreset:
 
 
 def _recording_entry(calls):
-    def entry(*, preset, progress=None, jobs=None, metrics=None, trace=None):
+    def entry(
+        *,
+        preset,
+        progress=None,
+        jobs=None,
+        metrics=None,
+        trace=None,
+        checkpoint=None,
+        retries=0,
+        point_timeout=None,
+        on_failure="raise",
+    ):
         calls.append(
             {
                 "preset": preset,
@@ -67,6 +78,10 @@ def _recording_entry(calls):
                 "jobs": jobs,
                 "metrics": metrics,
                 "trace": trace,
+                "checkpoint": checkpoint,
+                "retries": retries,
+                "point_timeout": point_timeout,
+                "on_failure": on_failure,
             }
         )
         return "ran"
@@ -81,9 +96,12 @@ class TestExperimentSpecRun:
         sentinel_progress = lambda line: None  # noqa: E731
         sentinel_metrics = object()
         sentinel_trace = object()
+        sentinel_checkpoint = object()
         result = spec.run(
             preset="quick", progress=sentinel_progress, jobs=3,
             metrics=sentinel_metrics, trace=sentinel_trace,
+            checkpoint=sentinel_checkpoint, retries=2, point_timeout=30.0,
+            on_failure="record",
         )
         assert result == "ran"
         assert calls == [
@@ -93,6 +111,10 @@ class TestExperimentSpecRun:
                 "jobs": 3,
                 "metrics": sentinel_metrics,
                 "trace": sentinel_trace,
+                "checkpoint": sentinel_checkpoint,
+                "retries": 2,
+                "point_timeout": 30.0,
+                "on_failure": "record",
             }
         ]
 
