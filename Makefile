@@ -37,6 +37,15 @@ bench-equivalence:
 bench-trace:
 	$(PYTHON) benchmarks/parallel_bench.py fig2 --trace-overhead-only --fail-overhead-above 3
 
+# Fleet-scale kernel benchmark: 4/32/128/256-host flood scenarios on the
+# multi-switch fabric, current vs embedded pre-PR kernel/switch, plus the
+# gated (>=3x at >=128 hosts) timer-dispatch leg -> BENCH_parallel.json.
+bench-fleet:
+	$(PYTHON) benchmarks/fleet_bench.py
+
+bench-fleet-smoke:
+	$(PYTHON) benchmarks/fleet_bench.py --smoke
+
 experiments:
 	$(PYTHON) -m repro.experiments all
 

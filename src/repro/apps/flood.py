@@ -35,7 +35,7 @@ from repro.net.packet import (
     UdpDatagram,
 )
 from repro.sim.engine import Event
-from repro.sim.timer import PeriodicTimer
+from repro.sim.timer import PeriodicTimer, TimerWheel, WheelTimer
 
 
 class FloodKind(enum.Enum):
@@ -74,14 +74,32 @@ class FloodSpec:
 
 
 class FloodGenerator:
-    """Sends a raw packet flood from an attacking host."""
+    """Sends a raw packet flood from an attacking host.
 
-    def __init__(self, host: Host, spec: Optional[FloodSpec] = None):
+    ``wheel`` (optional) paces the flood off a shared
+    :class:`~repro.sim.timer.TimerWheel` instead of a dedicated
+    :class:`~repro.sim.timer.PeriodicTimer` — fleets of attackers on one
+    wheel cost a single kernel event per tick instead of one per
+    attacker per packet.  The rate is then quantized to the wheel's tick
+    (and jitter is unavailable: batching and per-packet jitter are
+    mutually exclusive by construction).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        spec: Optional[FloodSpec] = None,
+        wheel: Optional[TimerWheel] = None,
+    ):
         self.host = host
         self.sim = host.sim
         self.spec = spec if spec is not None else FloodSpec()
+        if wheel is not None and self.spec.jitter > 0:
+            raise ValueError("wheel pacing does not support jitter")
+        self._wheel = wheel
         self._rng = host.rng.stream(f"{host.name}.flood")
         self._timer: Optional[PeriodicTimer] = None
+        self._wheel_timer: Optional[WheelTimer] = None
         self._jitter_event: Optional[Event] = None
         self._interval = 0.0
         self._target: Optional[Ipv4Address] = None
@@ -91,6 +109,8 @@ class FloodGenerator:
     def running(self) -> bool:
         """True while the flood is active."""
         if self._jitter_event is not None and self._jitter_event.pending:
+            return True
+        if self._wheel_timer is not None and not self._wheel_timer.cancelled:
             return True
         return self._timer is not None and self._timer.running
 
@@ -108,7 +128,11 @@ class FloodGenerator:
             raise RuntimeError("flood already running")
         self._target = target
         self._interval = 1.0 / rate_pps
-        if self.spec.jitter > 0:
+        if self._wheel is not None:
+            self._wheel_timer = self._wheel.schedule_periodic(
+                self._interval, self._send_one, initial_delay=self._interval
+            )
+        elif self.spec.jitter > 0:
             self._jitter_event = self.sim.schedule(0.0, self._send_one_jittered)
         else:
             self._timer = PeriodicTimer(self.sim, self._interval, self._send_one)
@@ -121,6 +145,9 @@ class FloodGenerator:
         if self._timer is not None:
             self._timer.stop()
             self._timer = None
+        if self._wheel_timer is not None:
+            self._wheel_timer.cancel()
+            self._wheel_timer = None
         if self._jitter_event is not None:
             self._jitter_event.cancel()
             self._jitter_event = None

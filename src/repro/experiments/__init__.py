@@ -1,14 +1,24 @@
-"""Experiment modules: one per figure/table of the paper, plus ablations.
+"""Experiment modules: one per figure/table of the paper, plus ablations
+and the fleet-scale flood workload.
 
-Run them via ``python -m repro.experiments [fig2|fig3a|fig3b|table1|ablations|all]``
-(add ``--quick`` for reduced grids, ``--metrics DIR`` for per-component
-time series), or call each module's ``run(preset=...)`` — every module
-follows the shared keyword contract
-``run(*, preset, progress=None, jobs=None, metrics=None)``
-(see :mod:`repro.experiments.presets`).
+Run them via ``python -m repro.experiments
+[fig2|fig3a|fig3b|table1|ablations|extension|fleet|all]`` (add
+``--quick`` for reduced grids, ``--metrics DIR`` for per-component time
+series), or call each module's ``run()`` — every module follows the
+shared contract::
+
+    run(config: RunConfig | None = None, **legacy_kwargs)
+
+One :class:`RunConfig` carries everything that shapes a run: the sweep
+grid (``preset``), execution (``progress``, ``jobs``), observability
+(``metrics``, ``trace``) and fault tolerance (``checkpoint``,
+``retries``, ``point_timeout``, ``on_failure``).  The legacy per-keyword
+form (``run(preset=..., jobs=...)``) still works but emits a
+:class:`DeprecationWarning`.
 """
 
-from repro.experiments.presets import FULL, QUICK, Preset, preset_for
+from repro.experiments.config import RunConfig
+from repro.experiments.presets import FULL, QUICK, Preset, preset_for, resolve_preset
 from repro.experiments.runner import (
     REGISTRY,
     ExperimentSpec,
@@ -21,7 +31,9 @@ __all__ = [
     "FULL",
     "QUICK",
     "Preset",
+    "RunConfig",
     "preset_for",
+    "resolve_preset",
     "REGISTRY",
     "ExperimentSpec",
     "experiment_ids",

@@ -19,6 +19,7 @@ from repro.obs.tracing import (
     write_chrome_trace,
     write_trace_jsonl,
 )
+from repro.experiments.config import RunConfig
 from repro.experiments.runner import (
     experiment_ids,
     render_result,
@@ -219,14 +220,19 @@ def main(argv=None) -> int:
                 os.path.join(args.checkpoint, f"{experiment_id}_checkpoint.jsonl"),
                 resume=args.resume,
             )
+        config = RunConfig(
+            preset="quick" if args.quick else "full",
+            progress=progress,
+            jobs=jobs,
+            metrics=collector,
+            trace=tracer,
+            checkpoint=checkpoint,
+            retries=args.retries,
+            point_timeout=args.point_timeout,
+            on_failure="record" if args.keep_going else "raise",
+        )
         try:
-            result = run_experiment_result(
-                experiment_id, quick=args.quick, progress=progress, jobs=jobs,
-                metrics=collector, trace=tracer,
-                checkpoint=checkpoint, retries=args.retries,
-                point_timeout=args.point_timeout,
-                on_failure="record" if args.keep_going else "raise",
-            )
+            result = run_experiment_result(experiment_id, config=config)
         except SweepError as exc:
             print(f"  !! {experiment_id}: {exc}", file=sys.stderr)
             if checkpoint is not None:

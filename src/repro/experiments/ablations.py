@@ -26,9 +26,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
-from repro.core.parallel import SweepExecutor, SweepPointSpec
+from repro.core.parallel import SweepPointSpec
 from repro.core.reports import format_table
-from repro.experiments.presets import FULL, Preset
+from repro.experiments.config import RunConfig
 from repro.core.testbed import DeviceKind, Testbed
 from repro.apps.iperf import IperfClient, IperfServer
 
@@ -67,14 +67,7 @@ def _muted_minflood_point(settings: MeasurementSettings, depth: int) -> float:
 def response_traffic(
     settings: Optional[MeasurementSettings] = None,
     depth: int = 32,
-    progress=None,
-    jobs: Optional[int] = None,
-    metrics=None,
-    trace=None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
+    config: Optional[RunConfig] = None,
 ) -> AblationResult:
     """Allowed-flood minimum DoS rate, with and without host responses.
 
@@ -100,11 +93,7 @@ def response_traffic(
             kwargs={"settings": settings, "depth": depth},
         ),
     ]
-    allow, deny, muted = SweepExecutor(
-        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
-        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
-        on_failure=on_failure,
-    ).run(specs)
+    allow, deny, muted = RunConfig.coerce(config).executor().run(specs)
     result = AblationResult(name="response-traffic (ADF)", unit="min DoS flood (pps)")
     result.outcomes["allowed flood, responses ON"] = allow
     result.outcomes["denied flood (reference)"] = deny
@@ -170,14 +159,7 @@ def _lazy_decrypt_point(
 def lazy_decrypt(
     settings: Optional[MeasurementSettings] = None,
     vpg_counts: Tuple[int, ...] = (1, 4, 8),
-    progress=None,
-    jobs: Optional[int] = None,
-    metrics=None,
-    trace=None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
+    config: Optional[RunConfig] = None,
 ) -> AblationResult:
     """ADF VPG bandwidth with lazy vs. eager decryption."""
     settings = settings if settings is not None else MeasurementSettings()
@@ -192,11 +174,7 @@ def lazy_decrypt(
         )
         for lazy, vpg_count in plans
     ]
-    values = SweepExecutor(
-        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
-        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
-        on_failure=on_failure,
-    ).run(specs)
+    values = RunConfig.coerce(config).executor().run(specs)
     result = AblationResult(name="lazy-decrypt", unit="bandwidth (Mbps)")
     for (lazy, vpg_count), mbps in zip(plans, values):
         mode = "lazy" if lazy else "eager"
@@ -214,14 +192,7 @@ def ring_size(
     settings: Optional[MeasurementSettings] = None,
     ring_sizes: Tuple[int, ...] = (16, 64, 256),
     flood_rate: float = 35000.0,
-    progress=None,
-    jobs: Optional[int] = None,
-    metrics=None,
-    trace=None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
+    config: Optional[RunConfig] = None,
 ) -> AblationResult:
     """Bandwidth under a near-saturating flood as the RX ring grows."""
     settings = settings if settings is not None else MeasurementSettings()
@@ -233,11 +204,7 @@ def ring_size(
         )
         for size in ring_sizes
     ]
-    values = SweepExecutor(
-        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
-        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
-        on_failure=on_failure,
-    ).run(specs)
+    values = RunConfig.coerce(config).executor().run(specs)
     result = AblationResult(
         name=f"ring-size (flood {flood_rate:,.0f} pps)", unit="bandwidth (Mbps)"
     )
@@ -312,14 +279,7 @@ def _conntrack_exhaustion_point(settings: MeasurementSettings) -> Tuple[float, f
 def stateful_firewall(
     settings: Optional[MeasurementSettings] = None,
     depth: int = 256,
-    progress=None,
-    jobs: Optional[int] = None,
-    metrics=None,
-    trace=None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
+    config: Optional[RunConfig] = None,
 ) -> AblationResult:
     """Stateless vs. stateful iptables: CPU cost and state exhaustion.
 
@@ -347,11 +307,7 @@ def stateful_firewall(
             kwargs={"settings": settings},
         ),
     ]
-    executor = SweepExecutor(
-        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
-        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
-        on_failure=on_failure,
-    )
+    executor = RunConfig.coerce(config).executor()
     (stateless_mbps, stateless_cpu), (stateful_mbps, stateful_cpu), exhaustion = (
         executor.run(specs)
     )
@@ -367,35 +323,25 @@ def stateful_firewall(
     return result
 
 
-def run(
-    *,
-    preset: Optional[Preset] = None,
-    progress=None,
-    jobs: Optional[int] = None,
-    metrics=None,
-    trace=None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
-) -> List[AblationResult]:
+def run(config: Optional[RunConfig] = None, **legacy_kwargs) -> List[AblationResult]:
     """Run all four ablations (grid knobs: ``vpg_counts``, ``ring_sizes``,
-    ``stateful_depth``)."""
-    preset = preset if preset is not None else FULL
+    ``stateful_depth``).
+
+    ``config`` is a :class:`~repro.experiments.RunConfig`; legacy
+    per-keyword calls still work but emit a :class:`DeprecationWarning`.
+    """
+    config = RunConfig.coerce(config, legacy_kwargs)
+    preset = config.resolved_preset("ablations")
     settings = preset.settings
-    common = {
-        "progress": progress,
-        "jobs": jobs,
-        "metrics": metrics,
-        "trace": trace,
-        "checkpoint": checkpoint,
-        "retries": retries,
-        "point_timeout": point_timeout,
-        "on_failure": on_failure,
-    }
     return [
-        response_traffic(settings, **common),
-        lazy_decrypt(settings, vpg_counts=preset.grid("vpg_counts", (1, 4, 8)), **common),
-        ring_size(settings, ring_sizes=preset.grid("ring_sizes", (16, 64, 256)), **common),
-        stateful_firewall(settings, depth=preset.grid("stateful_depth", 256), **common),
+        response_traffic(settings, config=config),
+        lazy_decrypt(
+            settings, vpg_counts=preset.grid("vpg_counts", (1, 4, 8)), config=config
+        ),
+        ring_size(
+            settings, ring_sizes=preset.grid("ring_sizes", (16, 64, 256)), config=config
+        ),
+        stateful_firewall(
+            settings, depth=preset.grid("stateful_depth", 256), config=config
+        ),
     ]

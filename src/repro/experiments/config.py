@@ -1,0 +1,135 @@
+"""The unified experiment run configuration.
+
+Every experiment module's ``run()`` historically took the same nine
+keywords (``preset, progress, jobs, metrics, trace, checkpoint, retries,
+point_timeout, on_failure``), re-threaded verbatim through
+:class:`~repro.experiments.runner.ExperimentSpec`, the module entry
+point, and :class:`~repro.core.parallel.SweepExecutor`.  That contract
+now lives in one place::
+
+    from repro.experiments import RunConfig, fig2_bandwidth
+
+    config = RunConfig(preset="quick", jobs=4, retries=1)
+    result = fig2_bandwidth.run(config)
+
+Legacy keyword calls (``fig2_bandwidth.run(preset=..., jobs=...)``)
+still work through a :class:`DeprecationWarning` shim and produce
+identical results.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Mapping, Optional, Union
+
+from repro.core.parallel import SweepExecutor
+from repro.experiments.presets import Preset, resolve_preset
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that shapes one experiment run.
+
+    Parameters
+    ----------
+    preset:
+        A :class:`~repro.experiments.presets.Preset`, the name
+        "full"/"quick", or None (= full).  Names are resolved per
+        experiment (each has its own quick grid).
+    progress:
+        Optional ``progress(line)`` callback (parent process only).
+    jobs:
+        Sweep worker-process count (1 = serial, None = auto via
+        ``REPRO_JOBS`` or the CPU count).  Results are identical for
+        any value.
+    metrics:
+        Optional :class:`~repro.obs.collect.MetricsCollector`.
+    trace:
+        Optional :class:`~repro.obs.tracing.collect.TraceCollector`.
+    checkpoint:
+        A :class:`~repro.core.checkpoint.SweepCheckpoint` or a path
+        (opened in resume mode).
+    retries:
+        Re-runs granted to a failed/timed-out sweep point.
+    point_timeout:
+        Wall-clock seconds per point before its worker is killed.
+    on_failure:
+        "raise" (default) or "record" (keep going, record failures).
+    """
+
+    preset: Union[None, str, Preset] = None
+    progress: Optional[Callable[[str], None]] = None
+    jobs: Optional[int] = None
+    metrics: Any = None
+    trace: Any = None
+    checkpoint: Any = None
+    retries: int = 0
+    point_timeout: Optional[float] = None
+    on_failure: str = "raise"
+
+    def resolved_preset(self, experiment_id: str) -> Preset:
+        """The concrete :class:`Preset` for ``experiment_id``."""
+        return resolve_preset(experiment_id, self.preset)
+
+    def executor(self) -> SweepExecutor:
+        """A :class:`~repro.core.parallel.SweepExecutor` per this config.
+
+        The executor validates ``jobs``/``retries``/``on_failure``; this
+        is the single point where the config meets the sweep machinery.
+        """
+        return SweepExecutor(
+            jobs=self.jobs,
+            progress=self.progress,
+            metrics=self.metrics,
+            trace=self.trace,
+            checkpoint=self.checkpoint,
+            retries=self.retries,
+            point_timeout=self.point_timeout,
+            on_failure=self.on_failure,
+        )
+
+    @classmethod
+    def coerce(
+        cls,
+        config: Optional["RunConfig"] = None,
+        legacy_kwargs: Optional[Mapping[str, Any]] = None,
+        *,
+        warn: bool = True,
+        stacklevel: int = 3,
+    ) -> "RunConfig":
+        """Normalize a ``run(config, **legacy_kwargs)`` call site.
+
+        Exactly one style may be used per call: a :class:`RunConfig`
+        (returned as-is) or the legacy keywords (converted; a
+        :class:`DeprecationWarning` is emitted when ``warn`` is True —
+        internal forwarding paths convert silently).  Mixing the two or
+        passing an unknown keyword raises :class:`TypeError`.
+        """
+        if not legacy_kwargs:
+            if config is None:
+                return cls()
+            if not isinstance(config, cls):
+                raise TypeError(
+                    f"config must be a RunConfig or None, got {type(config).__name__}"
+                )
+            return config
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(legacy_kwargs) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown run() keyword(s): {', '.join(unknown)}; "
+                f"RunConfig fields are {', '.join(sorted(known))}"
+            )
+        if config is not None:
+            raise TypeError(
+                "pass either a RunConfig or legacy keywords, not both"
+            )
+        if warn:
+            warnings.warn(
+                "per-keyword run(preset=..., jobs=..., ...) is deprecated; "
+                "pass a repro.experiments.RunConfig instead",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+        return cls(**legacy_kwargs)

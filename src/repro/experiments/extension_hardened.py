@@ -27,9 +27,9 @@ from repro.core.methodology import (
     MeasurementSettings,
     MinimumFloodResult,
 )
-from repro.core.parallel import SweepExecutor, SweepPointSpec
+from repro.core.parallel import SweepPointSpec
 from repro.core.reports import format_table
-from repro.experiments.presets import FULL, Preset
+from repro.experiments.config import RunConfig
 from repro.core.testbed import DeviceKind
 from repro.core.throughput import ThroughputTester
 from repro.sim import units
@@ -112,27 +112,16 @@ def _hardened_point(
     return bandwidth, flood, tester.search().rate_pps
 
 
-def run(
-    *,
-    preset: Optional[Preset] = None,
-    progress=None,
-    jobs: Optional[int] = None,
-    metrics=None,
-    trace=None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
-) -> HardenedResult:
+def run(config: Optional[RunConfig] = None, **legacy_kwargs) -> HardenedResult:
     """Run the extension comparison (grid knob: ``depths``).
 
-    ``jobs`` selects the worker-process count (1 = serial; None = auto)
-    and ``metrics`` an optional collector; results are identical for any
-    value of either.  ``checkpoint``/``retries``/``point_timeout``/
-    ``on_failure`` configure fault tolerance (see
-    :class:`~repro.core.parallel.SweepExecutor`).
+    ``config`` is a :class:`~repro.experiments.RunConfig`; results are
+    identical for any ``jobs`` value and with or without collectors.
+    Legacy per-keyword calls still work but emit a
+    :class:`DeprecationWarning`.
     """
-    preset = preset if preset is not None else FULL
+    config = RunConfig.coerce(config, legacy_kwargs)
+    preset = config.resolved_preset("extension")
     settings = preset.measurement()
     depths = preset.grid("depths", DEFAULT_DEPTHS)
     plans = [("EFW", DeviceKind.EFW), ("hardened", DeviceKind.HARDENED)]
@@ -145,11 +134,7 @@ def run(
         for label, device in plans
         for depth in depths
     ]
-    points = SweepExecutor(
-        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
-        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
-        on_failure=on_failure,
-    ).run(specs)
+    points = config.executor().run(specs)
     result = HardenedResult()
     cursor = iter(points)
     for label, _device in plans:

@@ -14,10 +14,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
-from repro.core.parallel import SweepExecutor, SweepPointSpec
+from repro.core.parallel import SweepPointSpec
 from repro.core.reports import format_table
 from repro.core.testbed import DeviceKind
-from repro.experiments.presets import FULL, Preset
+from repro.experiments.config import RunConfig
 
 #: Action-rule depths measured (the paper's x-axis reaches 64).
 DEFAULT_DEPTHS = (1, 2, 4, 8, 16, 24, 32, 48, 64)
@@ -61,27 +61,16 @@ def _vpg_point(vpg_count: int, settings: MeasurementSettings) -> float:
     return validator.available_bandwidth(vpg_count=vpg_count).mbps
 
 
-def run(
-    *,
-    preset: Optional[Preset] = None,
-    progress=None,
-    jobs: Optional[int] = None,
-    metrics=None,
-    trace=None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
-) -> Fig2Result:
+def run(config: Optional[RunConfig] = None, **legacy_kwargs) -> Fig2Result:
     """Regenerate Figure 2 (grid knobs: ``depths``, ``vpg_counts``).
 
-    ``jobs`` selects the worker-process count (1 = serial; None = auto)
-    and ``metrics`` an optional collector; results are identical for any
-    value of either.  ``checkpoint``/``retries``/``point_timeout``/
-    ``on_failure`` configure fault tolerance (see
-    :class:`~repro.core.parallel.SweepExecutor`).
+    ``config`` is a :class:`~repro.experiments.RunConfig`; results are
+    identical for any ``jobs`` value and with or without collectors.
+    Legacy per-keyword calls (``run(preset=..., jobs=...)``) still work
+    but emit a :class:`DeprecationWarning`.
     """
-    preset = preset if preset is not None else FULL
+    config = RunConfig.coerce(config, legacy_kwargs)
+    preset = config.resolved_preset("fig2")
     settings = preset.measurement()
     depths = preset.grid("depths", DEFAULT_DEPTHS)
     vpg_counts = preset.grid("vpg_counts", DEFAULT_VPG_COUNTS)
@@ -107,11 +96,7 @@ def run(
         )
         for vpg_count in vpg_counts
     )
-    values = SweepExecutor(
-        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
-        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
-        on_failure=on_failure,
-    ).run(specs)
+    values = config.executor().run(specs)
     result = Fig2Result()
     cursor = iter(values)
     for label, _device in plans:

@@ -16,10 +16,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.methodology import FloodToleranceValidator, MeasurementSettings
-from repro.core.parallel import SweepExecutor, SweepPointSpec
+from repro.core.parallel import SweepPointSpec
 from repro.core.reports import format_table
 from repro.core.testbed import DeviceKind
-from repro.experiments.presets import FULL, Preset
+from repro.experiments.config import RunConfig
 
 #: The nine flood rates (packets/second) of the paper's sweep.
 DEFAULT_FLOOD_RATES = (0, 5000, 10000, 15000, 20000, 25000, 30000, 40000, 50000)
@@ -63,28 +63,16 @@ def _flood_point(
     return validator.bandwidth_under_flood(rate, vpg_count=vpg_count).mbps
 
 
-def run(
-    *,
-    preset: Optional[Preset] = None,
-    progress=None,
-    jobs: Optional[int] = None,
-    metrics=None,
-    trace=None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
-) -> Fig3aResult:
+def run(config: Optional[RunConfig] = None, **legacy_kwargs) -> Fig3aResult:
     """Regenerate Figure 3a (grid knobs: ``flood_rates``, ``repetitions``).
 
-    ``jobs`` selects the worker-process count (1 = serial; None = auto)
-    and ``metrics`` an optional collector.  Every point is an isolated
-    deterministic simulation, so the result is identical for any value
-    of either.  ``checkpoint``/``retries``/``point_timeout``/
-    ``on_failure`` configure fault tolerance (see
-    :class:`~repro.core.parallel.SweepExecutor`).
+    ``config`` is a :class:`~repro.experiments.RunConfig`; every point is
+    an isolated deterministic simulation, so the result is identical for
+    any ``jobs`` value and with or without collectors.  Legacy
+    per-keyword calls still work but emit a :class:`DeprecationWarning`.
     """
-    preset = preset if preset is not None else FULL
+    config = RunConfig.coerce(config, legacy_kwargs)
+    preset = config.resolved_preset("fig3a")
     flood_rates = preset.grid("flood_rates", DEFAULT_FLOOD_RATES)
     repetitions = preset.grid("repetitions", DEFAULT_REPETITIONS)
     base = preset.measurement()
@@ -119,11 +107,7 @@ def run(
         for label, device, vpg_count in plans
         for rate in flood_rates
     ]
-    values = SweepExecutor(
-        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
-        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
-        on_failure=on_failure,
-    ).run(specs)
+    values = config.executor().run(specs)
     result = Fig3aResult()
     cursor = iter(values)
     for label, _device, _vpg_count in plans:

@@ -19,9 +19,9 @@ from repro.core.methodology import (
     MeasurementSettings,
     MinimumFloodResult,
 )
-from repro.core.parallel import SweepExecutor, SweepPointSpec
+from repro.core.parallel import SweepPointSpec
 from repro.core.reports import format_table
-from repro.experiments.presets import FULL, Preset
+from repro.experiments.config import RunConfig
 from repro.core.testbed import DeviceKind
 
 #: Action-rule depths of the paper's Figure 3b.
@@ -76,29 +76,17 @@ def _minflood_point(
     )
 
 
-def run(
-    *,
-    preset: Optional[Preset] = None,
-    progress=None,
-    jobs: Optional[int] = None,
-    metrics=None,
-    trace=None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
-) -> Fig3bResult:
+def run(config: Optional[RunConfig] = None, **legacy_kwargs) -> Fig3bResult:
     """Regenerate Figure 3b (grid knobs: ``depths``, ``probe_duration``).
 
     ``probe_duration`` shortens each bandwidth probe inside the rate
     search; the DoS verdict is insensitive to the window length.
-    ``jobs`` selects the worker-process count (1 = serial; None = auto)
-    and ``metrics`` an optional collector; results are identical for any
-    value of either.  ``checkpoint``/``retries``/``point_timeout``/
-    ``on_failure`` configure fault tolerance (see
-    :class:`~repro.core.parallel.SweepExecutor`).
+    ``config`` is a :class:`~repro.experiments.RunConfig`; results are
+    identical for any ``jobs`` value.  Legacy per-keyword calls still
+    work but emit a :class:`DeprecationWarning`.
     """
-    preset = preset if preset is not None else FULL
+    config = RunConfig.coerce(config, legacy_kwargs)
+    preset = config.resolved_preset("fig3b")
     settings = preset.measurement()
     depths = preset.grid("depths", DEFAULT_DEPTHS)
     probe_duration = preset.grid("probe_duration", 0.6)
@@ -125,11 +113,7 @@ def run(
         for label, device, flood_allowed in plans
         for depth in depths
     ]
-    searches = SweepExecutor(
-        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
-        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
-        on_failure=on_failure,
-    ).run(specs)
+    searches = config.executor().run(specs)
     result = Fig3bResult()
     cursor = iter(searches)
     for label, _device, _flood_allowed in plans:

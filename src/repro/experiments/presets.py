@@ -1,20 +1,19 @@
 """The shared :class:`Preset` grid contract for experiment ``run()``.
 
-Every experiment module exposes the same keyword-only entry point::
+Every experiment module exposes the same entry point::
 
-    run(*, preset=None, progress=None, jobs=None, metrics=None)
+    run(config: RunConfig | None = None, **legacy_kwargs)
 
-``preset`` carries the sweep grid: measurement windows plus the union of
-grid knobs the experiments understand (``depths``, ``vpg_counts``,
-``flood_rates``, ...).  A field left at ``None`` means "use the module's
-paper-default"; so ``Preset()`` (= :data:`FULL`) regenerates the paper
-artefacts exactly, and :data:`QUICK` holds the trimmed per-experiment
-grids behind the CLI's ``--quick`` flag.
+``config.preset`` carries the sweep grid: measurement windows plus the
+union of grid knobs the experiments understand (``depths``,
+``vpg_counts``, ``flood_rates``, ...).  A field left at ``None`` means
+"use the module's paper-default"; so ``Preset()`` (= :data:`FULL`)
+regenerates the paper artefacts exactly, and :data:`QUICK` holds the
+trimmed per-experiment grids behind the CLI's ``--quick`` flag.
 
-``progress`` is an optional ``progress(line)`` callback, ``jobs`` the
-sweep worker-process count (see :mod:`repro.core.parallel`), and
-``metrics`` an optional :class:`~repro.obs.collect.MetricsCollector`
-that receives per-sweep-point time series (identical for any ``jobs``).
+Everything else that shapes a run (progress callback, worker-process
+count, collectors, fault tolerance) lives on
+:class:`~repro.experiments.RunConfig`.
 """
 
 from __future__ import annotations
@@ -50,6 +49,10 @@ class Preset:
     ring_sizes: Optional[Tuple[int, ...]] = None
     #: iptables chain depth (ablations' stateful-firewall).
     stateful_depth: Optional[int] = None
+    #: Protected-target counts on the fabric (fleet).
+    fleet_sizes: Optional[Tuple[int, ...]] = None
+    #: Fractions of the fleet under attack (fleet).
+    flood_shares: Optional[Tuple[float, ...]] = None
 
     def grid(self, field_name: str, default: Any) -> Any:
         """This preset's value for one grid knob, or ``default`` if unset."""
@@ -102,6 +105,12 @@ QUICK: Dict[str, Preset] = {
         name="quick",
         settings=MeasurementSettings(duration=0.5),
         depths=(1, 64),
+    ),
+    "fleet": Preset(
+        name="quick",
+        settings=MeasurementSettings(duration=0.4),
+        fleet_sizes=(4, 8),
+        flood_shares=(0.0, 0.5),
     ),
 }
 

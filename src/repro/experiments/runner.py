@@ -1,20 +1,22 @@
 """Experiment registry and the unified run contract.
 
 ``python -m repro.experiments <id>`` regenerates one artefact; ids are
-``fig2``, ``fig3a``, ``fig3b``, ``table1``, ``ablations``, ``extension``
-or ``all``.  Every experiment is an :class:`ExperimentSpec` whose single
-entry point follows the shared keyword contract::
+``fig2``, ``fig3a``, ``fig3b``, ``table1``, ``ablations``, ``extension``,
+``fleet`` or ``all``.  Every experiment is an :class:`ExperimentSpec`
+whose single entry point takes one
+:class:`~repro.experiments.RunConfig`::
 
-    spec.run(preset=..., progress=..., jobs=..., metrics=..., trace=...)
+    spec.run(RunConfig(preset="quick", jobs=4))
 
-``preset`` is a :class:`~repro.experiments.presets.Preset` (or the names
-"full"/"quick"); the quick grids live in
-:mod:`repro.experiments.presets`.  ``checkpoint``/``retries``/
-``point_timeout``/``on_failure`` configure the sweep executor's fault
-tolerance (per-point retries with identical seeds, wall-clock watchdog,
-JSONL checkpoint/resume; see :class:`~repro.core.parallel.SweepExecutor`
-and the CLI's ``--checkpoint``/``--resume``/``--retries``/
-``--point-timeout``/``--keep-going``).  ``metrics`` is an optional
+``RunConfig.preset`` is a :class:`~repro.experiments.presets.Preset` (or
+the names "full"/"quick"); the quick grids live in
+:mod:`repro.experiments.presets`.  Its ``checkpoint``/``retries``/
+``point_timeout``/``on_failure`` fields configure the sweep executor's
+fault tolerance (per-point retries with identical seeds, wall-clock
+watchdog, JSONL checkpoint/resume; see
+:class:`~repro.core.parallel.SweepExecutor` and the CLI's
+``--checkpoint``/``--resume``/``--retries``/``--point-timeout``/
+``--keep-going``).  ``metrics`` is an optional
 :class:`~repro.obs.collect.MetricsCollector` that receives per-sweep
 time series; ``trace`` an optional
 :class:`~repro.obs.tracing.collect.TraceCollector` that receives
@@ -22,11 +24,15 @@ per-point packet-lifecycle traces and incidents.  ``--json DIR``,
 ``--metrics DIR`` and ``--trace DIR`` on the CLI archive the result,
 the series and the traces (see :mod:`repro.experiments.results` and
 :mod:`repro.obs.tracing.export`).
+
+Legacy per-keyword calls (``spec.run(preset=..., jobs=...)``) are still
+accepted; module-level ``run()`` entry points additionally emit a
+:class:`DeprecationWarning` for them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.experiments import (
@@ -35,9 +41,11 @@ from repro.experiments import (
     fig2_bandwidth,
     fig3a_flood,
     fig3b_minflood,
+    fleet_flood,
     table1_http,
 )
-from repro.experiments.presets import Preset, resolve_preset
+from repro.experiments.config import RunConfig
+from repro.experiments.presets import Preset
 
 Progress = Optional[Callable[[str], None]]
 
@@ -50,43 +58,29 @@ PresetLike = Union[None, str, Preset]
 class ExperimentSpec:
     """One runnable experiment.
 
-    ``entry`` is the experiment module's ``run`` implementing the shared
-    keyword contract; :meth:`run` normalizes the preset and forwards.
-    ``jobs`` is the sweep worker-process count (see
-    :mod:`repro.core.parallel`) and ``metrics`` an optional collector;
-    results are identical for any value of either.
+    ``entry`` is the experiment module's ``run`` taking a
+    :class:`~repro.experiments.RunConfig`; :meth:`run` resolves the
+    preset for this experiment id and forwards.  ``config.jobs`` is the
+    sweep worker-process count (see :mod:`repro.core.parallel`) and
+    ``config.metrics`` an optional collector; results are identical for
+    any value of either.
     """
 
     experiment_id: str
     title: str
     entry: Callable[..., Any]
 
-    def run(
-        self,
-        *,
-        preset: PresetLike = None,
-        progress: Progress = None,
-        jobs: Jobs = None,
-        metrics=None,
-        trace=None,
-        checkpoint=None,
-        retries: int = 0,
-        point_timeout: Optional[float] = None,
-        on_failure: str = "raise",
-    ) -> Any:
-        """Run the experiment and return its raw result object."""
-        resolved = resolve_preset(self.experiment_id, preset)
-        return self.entry(
-            preset=resolved,
-            progress=progress,
-            jobs=jobs,
-            metrics=metrics,
-            trace=trace,
-            checkpoint=checkpoint,
-            retries=retries,
-            point_timeout=point_timeout,
-            on_failure=on_failure,
-        )
+    def run(self, config: Optional[RunConfig] = None, **legacy_kwargs) -> Any:
+        """Run the experiment and return its raw result object.
+
+        Accepts a :class:`RunConfig`; the legacy keywords
+        (``preset=..., jobs=..., ...``) still work but emit a
+        :class:`DeprecationWarning`, like the experiment modules' own
+        ``run()`` entry points.
+        """
+        config = RunConfig.coerce(config, legacy_kwargs)
+        resolved = config.resolved_preset(self.experiment_id)
+        return self.entry(replace(config, preset=resolved))
 
 
 def render_result(result: Any) -> str:
@@ -131,6 +125,11 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             "Extension: the future-work flood-tolerant NIC",
             extension_hardened.run,
         ),
+        ExperimentSpec(
+            "fleet",
+            "Fleet flood tolerance on a multi-switch fabric",
+            fleet_flood.run,
+        ),
     )
 }
 
@@ -143,43 +142,27 @@ def experiment_ids() -> List[str]:
 def run_experiment_result(
     experiment_id: str,
     quick: bool = False,
-    progress: Progress = None,
-    jobs: Jobs = None,
-    metrics=None,
-    trace=None,
-    preset: PresetLike = None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
+    config: Optional[RunConfig] = None,
+    **legacy_kwargs,
 ) -> Any:
     """Run one experiment and return its raw result object.
 
-    ``preset`` wins over the ``quick`` flag when both are given.
-    ``jobs`` is the sweep worker-process count: 1 = serial, None = auto
-    (``REPRO_JOBS`` or the CPU count).  Any value yields the same result,
-    with or without a ``metrics`` or ``trace`` collector.
-    ``checkpoint``/``retries``/``point_timeout``/``on_failure`` configure
-    fault tolerance (see :class:`~repro.core.parallel.SweepExecutor`).
+    ``config`` carries everything that shapes the run (see
+    :class:`~repro.experiments.RunConfig`); ``config.preset`` wins over
+    the ``quick`` flag when both are given.  Results are identical for
+    any ``config.jobs`` value, with or without collectors.  The legacy
+    keywords (``preset=..., jobs=..., ...``) are still accepted here
+    without deprecation noise — this is the internal forwarding path.
     """
     spec = REGISTRY.get(experiment_id)
     if spec is None:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; choose from {', '.join(REGISTRY)}"
         )
-    if preset is None:
-        preset = "quick" if quick else "full"
-    return spec.run(
-        preset=preset,
-        progress=progress,
-        jobs=jobs,
-        metrics=metrics,
-        trace=trace,
-        checkpoint=checkpoint,
-        retries=retries,
-        point_timeout=point_timeout,
-        on_failure=on_failure,
-    )
+    config = RunConfig.coerce(config, legacy_kwargs, warn=False)
+    if config.preset is None:
+        config = replace(config, preset="quick" if quick else "full")
+    return spec.run(config)
 
 
 def run_experiment(

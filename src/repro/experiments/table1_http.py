@@ -20,9 +20,9 @@ from repro.core.methodology import (
     HttpMeasurement,
     MeasurementSettings,
 )
-from repro.core.parallel import SweepExecutor, SweepPointSpec
+from repro.core.parallel import SweepPointSpec
 from repro.core.reports import format_table
-from repro.experiments.presets import FULL, Preset
+from repro.experiments.config import RunConfig
 from repro.core.testbed import DeviceKind
 
 #: Rule depths for the ADF standard-rules columns.
@@ -76,27 +76,16 @@ def _http_point(
     return validator.http_performance(depth=depth, vpg_count=vpg_count)
 
 
-def run(
-    *,
-    preset: Optional[Preset] = None,
-    progress=None,
-    jobs: Optional[int] = None,
-    metrics=None,
-    trace=None,
-    checkpoint=None,
-    retries: int = 0,
-    point_timeout: Optional[float] = None,
-    on_failure: str = "raise",
-) -> Table1Result:
+def run(config: Optional[RunConfig] = None, **legacy_kwargs) -> Table1Result:
     """Regenerate Table 1 (grid knobs: ``depths``, ``vpg_counts``).
 
-    ``jobs`` selects the worker-process count (1 = serial; None = auto)
-    and ``metrics`` an optional collector; results are identical for any
-    value of either.  ``checkpoint``/``retries``/``point_timeout``/
-    ``on_failure`` configure fault tolerance (see
-    :class:`~repro.core.parallel.SweepExecutor`).
+    ``config`` is a :class:`~repro.experiments.RunConfig`; results are
+    identical for any ``jobs`` value and with or without collectors.
+    Legacy per-keyword calls still work but emit a
+    :class:`DeprecationWarning`.
     """
-    preset = preset if preset is not None else FULL
+    config = RunConfig.coerce(config, legacy_kwargs)
+    preset = config.resolved_preset("table1")
     settings = preset.measurement()
     depths = preset.grid("depths", DEFAULT_DEPTHS)
     vpg_counts = preset.grid("vpg_counts", DEFAULT_VPG_COUNTS)
@@ -122,11 +111,7 @@ def run(
         spec(f"table1: ADF VPG count={vpg_count}", DeviceKind.ADF, vpg_count=vpg_count)
         for vpg_count in vpg_counts
     )
-    measurements = SweepExecutor(
-        jobs=jobs, progress=progress, metrics=metrics, trace=trace,
-        checkpoint=checkpoint, retries=retries, point_timeout=point_timeout,
-        on_failure=on_failure,
-    ).run(specs)
+    measurements = config.executor().run(specs)
     result = Table1Result()
     result.standard_nic = measurements[0]
     result.adf_standard = measurements[1 : 1 + len(depths)]

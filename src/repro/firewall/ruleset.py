@@ -20,14 +20,13 @@ outcomes are bit-identical either way, only host wall-clock differs.
 
 Mutation goes through one place: :meth:`RuleSet.mutate` opens a
 :class:`RuleSetMutation` batch whose commit bumps the rule-set version
-and invalidates both the flow cache and the compiled classifier —
-``append``/``insert``/``remove`` survive as deprecated thin wrappers for
-one release.
+and invalidates both the flow cache and the compiled classifier.  (The
+deprecated single-shot ``append``/``insert``/``remove`` wrappers have
+been removed after their one-release grace period.)
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
@@ -193,37 +192,6 @@ class RuleSet:
     def version(self) -> int:
         """Monotonic mutation counter (bumps once per committed batch)."""
         return self._version
-
-    # -- deprecated single-shot mutators --------------------------------
-    # Pre-compiled-classifier API; each call paid a full cache flush, and
-    # invalidation logic was duplicated per method.  Kept as warning thin
-    # wrappers for one release; new code batches edits through mutate().
-
-    def append(self, rule: Rule) -> None:
-        """Deprecated: use ``with ruleset.mutate() as edit: edit.append(...)``."""
-        self._warn_deprecated("append")
-        with self.mutate() as edit:
-            edit.append(rule)
-
-    def insert(self, index: int, rule: Rule) -> None:
-        """Deprecated: use ``with ruleset.mutate() as edit: edit.insert(...)``."""
-        self._warn_deprecated("insert")
-        with self.mutate() as edit:
-            edit.insert(index, rule)
-
-    def remove(self, rule: Rule) -> None:
-        """Deprecated: use ``with ruleset.mutate() as edit: edit.remove(...)``."""
-        self._warn_deprecated("remove")
-        with self.mutate() as edit:
-            edit.remove(rule)
-
-    @staticmethod
-    def _warn_deprecated(method: str) -> None:
-        warnings.warn(
-            f"RuleSet.{method} is deprecated; batch edits through RuleSet.mutate()",
-            DeprecationWarning,
-            stacklevel=3,
-        )
 
     # ------------------------------------------------------------------
     # Inspection

@@ -13,6 +13,15 @@ Models the 3Com SuperStack-class switch of the paper's testbed (Figure 1):
 The paper verified that the switch itself did not cause measurable loss;
 our model preserves that property: its forwarding latency is a few
 microseconds and its fabric is non-blocking.
+
+Forwarding is **learned-table dispatch**: the learning table maps a MAC
+straight to its egress port, so the per-frame hot path is one dict probe
+on ingress (learn, writing only when the binding changes) and one dict
+probe on egress.  Last-seen timestamps are maintained in a side table
+only when an ageing time is configured — the default no-ageing
+configuration pays no per-frame timestamp write or tuple allocation,
+which is what keeps 200+-host fabrics tractable
+(see :class:`~repro.net.topology.FabricTopology`).
 """
 
 from __future__ import annotations
@@ -54,8 +63,12 @@ class EthernetSwitch:
         self.forwarding_latency = float(forwarding_latency)
         self.mac_ageing_time = mac_ageing_time
         self._ports: List[LinkPort] = []
-        # MAC -> (port, last_seen_time)
-        self._mac_table: Dict[MacAddress, tuple] = {}
+        #: Learned-table dispatch: MAC -> egress port, probed once per frame.
+        self._mac_to_port: Dict[MacAddress, LinkPort] = {}
+        #: MAC -> last-seen time; maintained only when ageing is on.
+        self._mac_seen: Optional[Dict[MacAddress, float]] = (
+            {} if mac_ageing_time is not None else None
+        )
         # Counters
         self.forwarded_frames = 0
         self.flooded_frames = 0
@@ -73,14 +86,30 @@ class EthernetSwitch:
         """All attached ports."""
         return list(self._ports)
 
+    def learn(self, mac: MacAddress, port: LinkPort) -> None:
+        """Install a learning-table entry (as if a frame from ``mac``
+        had just arrived on ``port``).
+
+        Topology builders use this to prime large fabrics so the first
+        packet between every host pair does not flood the whole tree
+        (see :meth:`~repro.net.topology.FabricTopology.prime_mac_tables`).
+        """
+        self._mac_to_port[mac] = port
+        if self._mac_seen is not None:
+            self._mac_seen[mac] = self.sim.now
+
     def mac_table(self) -> Dict[MacAddress, LinkPort]:
         """A snapshot of the current (non-aged) learning table."""
+        seen = self._mac_seen
+        if seen is None:
+            return dict(self._mac_to_port)
         now = self.sim.now
-        table = {}
-        for mac, (port, seen) in self._mac_table.items():
-            if self._fresh(seen, now):
-                table[mac] = port
-        return table
+        ageing = self.mac_ageing_time
+        return {
+            mac: port
+            for mac, port in self._mac_to_port.items()
+            if (now - seen[mac]) <= ageing
+        }
 
     # ------------------------------------------------------------------
     # FrameSink interface
@@ -88,7 +117,13 @@ class EthernetSwitch:
 
     def receive_frame(self, frame: EthernetFrame, port: LinkPort) -> None:
         """Learn the source and forward after the fabric latency."""
-        self._mac_table[frame.src_mac] = (port, self.sim.now)
+        src = frame.src_mac
+        table = self._mac_to_port
+        if table.get(src) is not port:
+            table[src] = port
+        seen = self._mac_seen
+        if seen is not None:
+            seen[src] = self.sim.now
         self.sim.schedule(self.forwarding_latency, self._forward, frame, port)
 
     # ------------------------------------------------------------------
@@ -106,19 +141,22 @@ class EthernetSwitch:
                     parent=getattr(packet, "trace_parent", None),
                 )
                 packet.trace_parent = record.span_id
-        if frame.dst_mac.is_broadcast or frame.dst_mac.is_multicast:
+        dst = frame.dst_mac
+        if dst.is_broadcast or dst.is_multicast:
             self._flood(frame, ingress)
             return
-        entry = self._mac_table.get(frame.dst_mac)
-        if entry is not None:
-            egress, seen = entry
-            if self._fresh(seen, self.sim.now) and egress is not ingress:
+        egress = self._mac_to_port.get(dst)
+        if egress is not None:
+            seen = self._mac_seen
+            if seen is None or (self.sim.now - seen[dst]) <= self.mac_ageing_time:
+                if egress is ingress:
+                    # Destination is on the ingress segment; do not forward.
+                    return
                 self.forwarded_frames += 1
                 if not egress.send(frame):
                     self.dropped_frames += 1
                 return
             if egress is ingress:
-                # Destination is on the ingress segment; do not forward.
                 return
         self._flood(frame, ingress)
 
@@ -129,11 +167,6 @@ class EthernetSwitch:
                 continue
             if not port.send(frame):
                 self.dropped_frames += 1
-
-    def _fresh(self, seen: float, now: float) -> bool:
-        if self.mac_ageing_time is None:
-            return True
-        return (now - seen) <= self.mac_ageing_time
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<EthernetSwitch {self.name} ports={len(self._ports)}>"

@@ -18,4 +18,6 @@ def instrument_simulator(sim) -> None:
     registry.counter_fn("sim_events_executed", lambda: sim.events_executed, component="engine")
     registry.counter_fn("sim_events_cancelled", lambda: sim.events_cancelled, component="engine")
     registry.gauge_fn("sim_events_pending", lambda: sim.pending_count(), component="engine")
-    registry.gauge_fn("sim_heap_depth", lambda: len(sim._heap), component="engine")
+    # queue_depth() = pending + tombstones, the same quantity the old
+    # event-heap kernel reported as len(_heap).
+    registry.gauge_fn("sim_heap_depth", lambda: sim.queue_depth(), component="engine")

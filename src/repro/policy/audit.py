@@ -20,6 +20,7 @@ class AuditEventKind(enum.Enum):
     POLICY_DEFINED = "policy-defined"
     POLICY_ASSIGNED = "policy-assigned"
     POLICY_PUSHED = "policy-pushed"
+    PUSH_RETRIED = "push-retried"
     PUSH_FAILED = "push-failed"
     VPG_CREATED = "vpg-created"
     VPG_MEMBER_ADDED = "vpg-member-added"

@@ -25,7 +25,7 @@ from repro.crypto.keys import VpgKeyStore
 from repro.firewall.ruleset import RuleSet
 from repro.policy.audit import AuditEventKind, AuditLog
 from repro.policy.groups import VpgGroup, VpgGroupManager
-from repro.sim.timer import PeriodicTimer
+from repro.sim.timer import PeriodicTimer, Timer
 
 from repro.policy_ports import AGENT_PORT, HEARTBEAT_PORT  # noqa: F401  (re-export)
 
@@ -54,6 +54,10 @@ class PolicyServer:
         self._agents: Dict[str, "NicAgent"] = {}
         self.pushes_sent = 0
         self.pushes_acked = 0
+        self.pushes_retried = 0
+        self.pushes_failed = 0
+        #: host name -> ack-timeout timer for an in-flight networked push.
+        self._awaiting_ack: Dict[str, Timer] = {}
         # Heartbeat monitoring.
         self._heartbeat_socket = None
         self._heartbeat_timer: Optional[PeriodicTimer] = None
@@ -101,13 +105,32 @@ class PolicyServer:
             policy=policy_name,
         )
 
-    def push_policy(self, host_name: str, inline: bool = False) -> None:
+    def push_policy(
+        self,
+        host_name: str,
+        inline: bool = False,
+        retries: int = 0,
+        ack_timeout: Optional[float] = None,
+    ) -> None:
         """Push the assigned policy to a host's NIC agent.
 
         With ``inline=True`` the rule-set is installed synchronously;
         otherwise the push travels as UDP traffic over the simulated
         network and the agent installs it on receipt.
+
+        ``retries``/``ack_timeout`` make networked pushes reliable: if no
+        confirmation arrives within ``ack_timeout`` seconds the datagram
+        is resent (audited as ``PUSH_RETRIED``), up to ``retries`` times;
+        exhausting them audits ``PUSH_FAILED`` and counts in
+        :attr:`pushes_failed`.  A flooded NIC dropping the push is
+        exactly the fleet-scale failure this covers.  The defaults
+        (``retries=0`` and no timeout) preserve the fire-and-forget
+        behaviour.
         """
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retries > 0 and ack_timeout is None:
+            raise ValueError("retries require an ack_timeout")
         policy_name = self._assignments.get(host_name)
         if policy_name is None:
             raise KeyError(f"host {host_name!r} has no assigned policy")
@@ -127,8 +150,13 @@ class PolicyServer:
                 transport="inline",
             )
             return
-        payload_size = 16 + RULE_WIRE_SIZE * ruleset.table_size
         agent.expect_push(policy_name, ruleset, self.key_store, self)
+        self._send_push_datagram(agent, policy_name, ruleset)
+        if ack_timeout is not None:
+            self._arm_ack_timeout(host_name, policy_name, retries, ack_timeout)
+
+    def _send_push_datagram(self, agent: "NicAgent", policy_name: str, ruleset: RuleSet) -> None:
+        payload_size = 16 + RULE_WIRE_SIZE * ruleset.table_size
         socket = self.host.udp.bind(0)
         socket.send(
             agent.host.ip,
@@ -138,13 +166,63 @@ class PolicyServer:
         )
         socket.close()
 
-    def push_all(self, inline: bool = False) -> None:
+    def _arm_ack_timeout(
+        self, host_name: str, policy_name: str, retries_left: int, ack_timeout: float
+    ) -> None:
+        stale = self._awaiting_ack.pop(host_name, None)
+        if stale is not None:
+            stale.stop()
+        timer = Timer(
+            self.sim, self._push_timed_out, host_name, policy_name, retries_left, ack_timeout
+        )
+        timer.start(ack_timeout)
+        self._awaiting_ack[host_name] = timer
+
+    def _push_timed_out(
+        self, host_name: str, policy_name: str, retries_left: int, ack_timeout: float
+    ) -> None:
+        self._awaiting_ack.pop(host_name, None)
+        if retries_left <= 0:
+            self.pushes_failed += 1
+            self.audit.record(
+                self.sim.now,
+                AuditEventKind.PUSH_FAILED,
+                host_name,
+                policy=policy_name,
+            )
+            return
+        self.pushes_retried += 1
+        self.audit.record(
+            self.sim.now,
+            AuditEventKind.PUSH_RETRIED,
+            host_name,
+            policy=policy_name,
+            retries_left=retries_left,
+        )
+        agent = self._agents[host_name]
+        ruleset = self._policies[policy_name]
+        self.pushes_sent += 1
+        agent.expect_push(policy_name, ruleset, self.key_store, self)
+        self._send_push_datagram(agent, policy_name, ruleset)
+        self._arm_ack_timeout(host_name, policy_name, retries_left - 1, ack_timeout)
+
+    def push_all(
+        self,
+        inline: bool = False,
+        retries: int = 0,
+        ack_timeout: Optional[float] = None,
+    ) -> None:
         """Push every assigned policy."""
         for host_name in list(self._assignments):
-            self.push_policy(host_name, inline=inline)
+            self.push_policy(
+                host_name, inline=inline, retries=retries, ack_timeout=ack_timeout
+            )
 
     def push_confirmed(self, host_name: str, policy_name: str) -> None:
         """Called by the agent when a networked push is installed."""
+        pending = self._awaiting_ack.pop(host_name, None)
+        if pending is not None:
+            pending.stop()
         self.pushes_acked += 1
         self.audit.record(
             self.sim.now,

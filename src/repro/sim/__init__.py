@@ -16,8 +16,7 @@ on.  The design is deliberately small:
 * :mod:`~repro.sim.units` centralises unit conversions (seconds,
   microseconds, bits-per-second, frame sizes) so magic numbers do not leak
   into the models.
-* tracing lives in :mod:`repro.obs.tracing` (``repro.sim.trace`` is a
-  deprecated shim over it); every kernel carries a
+* tracing lives in :mod:`repro.obs.tracing`; every kernel carries a
   :class:`~repro.obs.tracing.PacketTracer` at ``sim.tracer``.
 
 All simulation times are ``float`` seconds.  Determinism is guaranteed by a

@@ -1,26 +1,44 @@
 """The discrete-event simulation kernel.
 
-A :class:`Simulator` owns a virtual clock and a binary heap of pending
-events.  Components schedule callbacks at absolute or relative virtual
-times; the kernel executes them in (time, insertion-order) order, which
-makes every run fully deterministic.
+A :class:`Simulator` owns a virtual clock and a time-indexed event queue.
+Components schedule callbacks at absolute or relative virtual times; the
+kernel executes them in (time, insertion-order) order, which makes every
+run fully deterministic.
 
 The kernel is intentionally free of any networking knowledge: links, NICs
 and protocol stacks are ordinary objects that hold a reference to the
 simulator and schedule their own callbacks.
 
-Cancellation is lazy: a cancelled event stays in the heap as a tombstone
-until it surfaces, but the kernel keeps live counters of pending and
-cancelled events so :meth:`Simulator.pending_count` is O(1), and compacts
-the heap when tombstones dominate so long-running floods that cancel
-many timers do not grow the heap without bound.
+Queue layout (the fleet-scale dispatch optimisation)
+----------------------------------------------------
+
+Instead of one binary heap of :class:`Event` objects, the kernel keeps
+
+* a min-heap of *distinct* firing times (plain floats), and
+* a dict mapping each firing time to its FIFO **bucket** of events.
+
+Scheduling at an already-pending time is a dict hit plus a list append —
+no heap operation at all — and every heap comparison is a C-speed float
+comparison instead of a Python ``Event.__lt__`` call.  Dispatch pops one
+time and runs its whole bucket back-to-back ("batched same-timestamp
+dispatch"): synchronized periodic work — hundreds of flood generators
+ticking in lockstep across a fleet — collapses from N heap pushes and N
+heap pops per tick into one of each.  Execution order is still exactly
+(time, insertion order), so results are bit-identical to the event-heap
+kernel; only host wall-clock changes.
+
+Cancellation is lazy: a cancelled event stays in its bucket as a
+tombstone until it surfaces, but the kernel keeps live counters of
+pending and cancelled events so :meth:`Simulator.pending_count` is O(1),
+and compacts the buckets when tombstones dominate so long-running floods
+that cancel many timers do not grow the queue without bound.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.registry import NULL_REGISTRY
 from repro.obs.tracing.tracer import PacketTracer
@@ -52,7 +70,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
-        #: Owning simulator while the event is in its heap; cleared when
+        #: Owning simulator while the event is in its queue; cleared when
         #: the event executes or is cancelled, so the live counters are
         #: adjusted exactly once per event.
         self._kernel = kernel
@@ -60,15 +78,15 @@ class Event:
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent.
 
-        The event stays in the heap (lazy deletion) but is skipped when it
-        surfaces; the owning kernel's pending/tombstone counters are
+        The event stays in its bucket (lazy deletion) but is skipped when
+        it surfaces; the owning kernel's pending/tombstone counters are
         updated immediately.
         """
         if self.cancelled:
             return
         self.cancelled = True
         # Drop references eagerly so cancelled events do not pin packet
-        # buffers or closures in memory until they surface in the heap.
+        # buffers or closures in memory until they surface in the queue.
         self.callback = _noop
         self.args = ()
         kernel = self._kernel
@@ -93,8 +111,8 @@ def _noop(*_args: Any) -> None:
     """Placeholder callback for cancelled events."""
 
 
-#: Compact the heap once it holds this many tombstones *and* they are the
-#: majority (see :meth:`Simulator._note_cancelled`).
+#: Compact the queue once it holds this many tombstones *and* they are
+#: the majority (see :meth:`Simulator._note_cancelled`).
 _COMPACT_MIN_TOMBSTONES = 512
 
 
@@ -120,6 +138,7 @@ class Simulator:
     __slots__ = (
         "_now",
         "_heap",
+        "_buckets",
         "_seq",
         "_running",
         "_pending",
@@ -132,12 +151,16 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: List[Event] = []
+        #: Min-heap of distinct pending firing times (floats).  Each time
+        #: appears at most once; its events live in ``_buckets[time]``.
+        self._heap: List[float] = []
+        #: time -> FIFO list of events scheduled for that instant.
+        self._buckets: Dict[float, List[Event]] = {}
         self._seq = itertools.count()
         self._running = False
         #: Live count of scheduled, not-yet-cancelled, not-yet-run events.
         self._pending = 0
-        #: Cancelled events still sitting in the heap (lazy deletion).
+        #: Cancelled events still sitting in buckets (lazy deletion).
         self._tombstones = 0
         self.events_executed = 0
         #: Cumulative count of cancellations (tombstone compaction resets
@@ -171,7 +194,18 @@ class Simulator:
         """Schedule ``callback(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        # Inlined schedule_at: this is the hottest kernel entry point, and
+        # self._now + delay is already a valid float time.
+        time = self._now + delay
+        event = Event(time, next(self._seq), callback, args, kernel=self)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._heap, time)
+        else:
+            bucket.append(event)
+        self._pending += 1
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
@@ -179,8 +213,15 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        event = Event(float(time), next(self._seq), callback, args, kernel=self)
-        heapq.heappush(self._heap, event)
+        if type(time) is not float:
+            time = float(time)
+        event = Event(time, next(self._seq), callback, args, kernel=self)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._heap, time)
+        else:
+            bucket.append(event)
         self._pending += 1
         return event
 
@@ -195,23 +236,41 @@ class Simulator:
     def step(self) -> bool:
         """Run the single next pending event.
 
-        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        Returns ``True`` if an event ran, ``False`` if the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                self._tombstones -= 1
+        heap = self._heap
+        buckets = self._buckets
+        while heap:
+            time = heap[0]
+            bucket = buckets.get(time)
+            if bucket is None:
+                heapq.heappop(heap)  # stale entry left by compaction
                 continue
+            index = 0
+            size = len(bucket)
+            while index < size and bucket[index].cancelled:
+                self._tombstones -= 1
+                index += 1
+            if index == size:
+                heapq.heappop(heap)
+                del buckets[time]
+                continue
+            event = bucket[index]
+            if index + 1 < size:
+                bucket[:] = bucket[index + 1:]
+            else:
+                heapq.heappop(heap)
+                del buckets[time]
             self._pending -= 1
             event._kernel = None
-            self._now = event.time
+            self._now = time
             self.events_executed += 1
             event.callback(*event.args)
             return True
         return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run events until the heap drains, ``until`` is reached, or
+        """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` have executed.
 
         Clock contract: when ``until`` is given, the clock is advanced to
@@ -229,25 +288,54 @@ class Simulator:
         # Localize the hot loop's lookups: attribute fetches on self and
         # the heapq module cost ~20 % of a pure event-dispatch workload.
         heap = self._heap
+        buckets = self._buckets
         heappop = heapq.heappop
         executed = 0
+        truncated = False
         try:
             while heap:
-                event = heap[0]
-                if event.cancelled:
-                    heappop(heap)
-                    self._tombstones -= 1
-                    continue
-                if until is not None and event.time > until:
+                time = heap[0]
+                if until is not None and time > until:
                     break
                 heappop(heap)
-                self._pending -= 1
-                event._kernel = None
-                self._now = event.time
-                self.events_executed += 1
-                event.callback(*event.args)
-                executed += 1
-                if max_events is not None and executed >= max_events:
+                bucket = buckets.pop(time, None)
+                if bucket is None:
+                    continue  # stale entry left by compaction
+                # Batched same-timestamp dispatch: the whole bucket runs
+                # back-to-back with one heap pop.  Callbacks that schedule
+                # *at* this instant open a fresh bucket (picked up by the
+                # outer loop, preserving insertion order); compaction
+                # cannot touch this popped bucket, so iterating by index
+                # is safe.
+                index = 0
+                size = len(bucket)
+                while index < size:
+                    event = bucket[index]
+                    index += 1
+                    if event.cancelled:
+                        self._tombstones -= 1
+                        continue
+                    self._pending -= 1
+                    event._kernel = None
+                    self._now = time
+                    self.events_executed += 1
+                    event.callback(*event.args)
+                    executed += 1
+                    if max_events is not None and executed >= max_events:
+                        truncated = True
+                        break
+                if truncated:
+                    if index < size:
+                        # Re-queue the unexecuted tail ahead of any events
+                        # scheduled at this instant during the batch (the
+                        # tail's sequence numbers are older).
+                        rest = bucket[index:]
+                        existing = buckets.get(time)
+                        if existing is None:
+                            buckets[time] = rest
+                            heapq.heappush(heap, time)
+                        else:
+                            existing[:0] = rest
                     break
             if until is not None and until > self._now:
                 next_time = self._next_pending_time()
@@ -257,8 +345,12 @@ class Simulator:
             self._running = False
 
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events in the heap.  O(1)."""
+        """Number of not-yet-cancelled events in the queue.  O(1)."""
         return self._pending
+
+    def queue_depth(self) -> int:
+        """Events sitting in the queue, including lazy tombstones.  O(1)."""
+        return self._pending + self._tombstones
 
     # ------------------------------------------------------------------
     # Internals
@@ -267,26 +359,53 @@ class Simulator:
     def _next_pending_time(self) -> Optional[float]:
         """Time of the earliest live event, purging surfaced tombstones."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        buckets = self._buckets
+        while heap:
+            time = heap[0]
+            bucket = buckets.get(time)
+            if bucket is None:
+                heapq.heappop(heap)
+                continue
+            for event in bucket:
+                if not event.cancelled:
+                    return time
+            # Bucket holds only tombstones: drop it whole.
+            self._tombstones -= len(bucket)
             heapq.heappop(heap)
-            self._tombstones -= 1
-        return heap[0].time if heap else None
+            del buckets[time]
+        return None
 
     def _note_cancelled(self) -> None:
         """Account for one cancellation; compact when tombstones dominate.
 
-        Compaction filters the heap *in place* (slice assignment) so a
-        ``run()`` loop holding a local reference to the list keeps seeing
-        the live heap.
+        Compaction filters the buckets and rebuilds the time-heap *in
+        place* (slice assignment) so a ``run()`` loop holding local
+        references keeps seeing the live queue.  A bucket currently being
+        dispatched has already been popped and is skipped; its tombstones
+        are settled when they surface in the dispatch loop, so compaction
+        subtracts only what it actually purged.
         """
         self._pending -= 1
         self._tombstones += 1
         self.events_cancelled += 1
-        heap = self._heap
-        if self._tombstones >= _COMPACT_MIN_TOMBSTONES and self._tombstones * 2 > len(heap):
-            heap[:] = [event for event in heap if not event.cancelled]
-            heapq.heapify(heap)
-            self._tombstones = 0
+        if self._tombstones >= _COMPACT_MIN_TOMBSTONES and self._tombstones > self._pending:
+            buckets = self._buckets
+            purged = 0
+            for time in list(buckets):
+                bucket = buckets[time]
+                live = [event for event in bucket if not event.cancelled]
+                removed = len(bucket) - len(live)
+                if removed:
+                    purged += removed
+                    if live:
+                        bucket[:] = live
+                    else:
+                        del buckets[time]
+            if purged:
+                heap = self._heap
+                heap[:] = list(buckets)
+                heapq.heapify(heap)
+                self._tombstones -= purged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now:.6f} pending={self._pending}>"

@@ -3,11 +3,16 @@
 Protocol code (TCP retransmission, delayed ACK, flood pacing, measurement
 windows) uses these instead of raw ``Simulator.schedule`` calls so that
 restart/cancel semantics live in one tested place.
+
+For fleets of synchronized periodic events (hundreds of flood generators
+all pacing at the same rate), :class:`TimerWheel` batches every timer due
+on the same tick behind a single kernel event — the wheel costs one
+kernel event per tick regardless of how many timers fire on it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.sim.engine import Event, Simulator
 
@@ -102,3 +107,160 @@ class PeriodicTimer:
         # stop() to terminate the series.
         self._event = self._sim.schedule(self.interval, self._fire)
         self._callback(*self._args)
+
+
+class WheelTimer:
+    """Handle for one entry on a :class:`TimerWheel`.
+
+    Created by :meth:`TimerWheel.schedule` /
+    :meth:`TimerWheel.schedule_periodic`; supports :meth:`cancel` and
+    exposes :attr:`fired`.
+    """
+
+    __slots__ = ("_callback", "_args", "_expiry_tick", "_period_ticks", "cancelled", "fired")
+
+    def __init__(self, callback, args, expiry_tick: int, period_ticks: Optional[int]):
+        self._callback = callback
+        self._args = args
+        self._expiry_tick = expiry_tick
+        self._period_ticks = period_ticks
+        self.cancelled = False
+        self.fired = 0
+
+    @property
+    def periodic(self) -> bool:
+        """True for entries armed with :meth:`TimerWheel.schedule_periodic`."""
+        return self._period_ticks is not None
+
+    def cancel(self) -> None:
+        """Deactivate the entry.  Idempotent; the wheel drops it lazily."""
+        self.cancelled = True
+
+
+class TimerWheel:
+    """An indexed (hashed) timer wheel with a fixed tick quantum.
+
+    The wheel advances in increments of ``tick`` seconds and fires every
+    entry due on the current tick from a *single* kernel event, so N
+    synchronized periodic timers cost one event per tick instead of N.
+    Deadlines are quantized: an entry armed for ``delay`` seconds fires
+    after ``ceil(delay / tick)`` ticks (at least one).  That quantization
+    is the price of batching — use it where many timers share a cadence
+    (flood-generator pacing across a fleet) and the plain
+    :class:`Timer`/:class:`PeriodicTimer` where exact deadlines matter.
+
+    The driving kernel event is armed lazily: an empty wheel schedules
+    nothing, and the wheel re-arms only while entries remain.  Tick times
+    are computed from the wheel's epoch (first arming time) as
+    ``epoch + index * tick`` so long runs do not accumulate float drift.
+    """
+
+    def __init__(self, sim: Simulator, tick: float, slots: int = 256):
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self._sim = sim
+        self.tick = float(tick)
+        self._slots: List[List[WheelTimer]] = [[] for _ in range(slots)]
+        #: Absolute index of the next tick to execute.
+        self._tick_index = 0
+        self._epoch: Optional[float] = None
+        self._event: Optional[Event] = None
+        self._live = 0
+        self.ticks_executed = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def live_timers(self) -> int:
+        """Number of entries still on the wheel (cancelled entries are
+        dropped lazily, when their slot next comes around)."""
+        return self._live
+
+    def _ticks_for(self, interval: float) -> int:
+        ticks = int(-(-interval // self.tick))  # ceil without math import
+        return ticks if ticks > 0 else 1
+
+    def _arm(self) -> None:
+        if self._event is not None and self._event.pending:
+            return
+        now = self._sim.now
+        if self._epoch is None:
+            self._epoch = now
+            self._tick_index = 0
+        else:
+            # After an idle stretch, jump the index forward so the next
+            # tick lands in the future (idle implies the wheel is empty,
+            # so no slot is skipped over).
+            elapsed = int((now - self._epoch) / self.tick)
+            if elapsed > self._tick_index:
+                self._tick_index = elapsed
+        self._event = self._sim.schedule_at(
+            self._epoch + (self._tick_index + 1) * self.tick, self._advance
+        )
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> WheelTimer:
+        """Arm a one-shot entry ``ceil(delay / tick)`` ticks from now."""
+        # Arm first so _epoch/_tick_index are initialised for the expiry math.
+        entry = WheelTimer(callback, args, 0, None)
+        self._arm()
+        entry._expiry_tick = self._tick_index + self._ticks_for(delay)
+        self._slots[entry._expiry_tick % len(self._slots)].append(entry)
+        self._live += 1
+        return entry
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        initial_delay: Optional[float] = None,
+    ) -> WheelTimer:
+        """Arm a repeating entry firing every ``ceil(interval / tick)`` ticks."""
+        entry = WheelTimer(callback, args, 0, None)
+        self._arm()
+        period = self._ticks_for(interval)
+        entry._period_ticks = period
+        entry._expiry_tick = self._tick_index + (
+            period if initial_delay is None else self._ticks_for(initial_delay)
+        )
+        self._slots[entry._expiry_tick % len(self._slots)].append(entry)
+        self._live += 1
+        return entry
+
+    # ------------------------------------------------------------------
+
+    def _advance(self) -> None:
+        # The driving event has fired; clear it first so callbacks that
+        # insert entries re-arm the next tick (not a duplicate of it).
+        self._event = None
+        self._tick_index += 1
+        self.ticks_executed += 1
+        now_tick = self._tick_index
+        slot = self._slots[now_tick % len(self._slots)]
+        if slot:
+            keep: List[WheelTimer] = []
+            due: List[WheelTimer] = []
+            for entry in slot:
+                if entry.cancelled:
+                    self._live -= 1
+                elif entry._expiry_tick == now_tick:
+                    due.append(entry)
+                else:
+                    keep.append(entry)
+            slot[:] = keep
+            for entry in due:
+                if entry.cancelled:
+                    # Cancelled by an earlier callback on this same tick.
+                    self._live -= 1
+                    continue
+                entry.fired += 1
+                if entry._period_ticks is not None:
+                    entry._expiry_tick = now_tick + entry._period_ticks
+                    self._slots[entry._expiry_tick % len(self._slots)].append(entry)
+                else:
+                    self._live -= 1
+                entry._callback(*entry._args)
+        if self._live > 0:
+            self._arm()

@@ -7,8 +7,15 @@ import pytest
 pytestmark = pytest.mark.slow
 
 from repro.core.methodology import MeasurementSettings
-from repro.experiments import Preset, experiment_ids, run_experiment
-from repro.experiments import ablations, fig2_bandwidth, fig3a_flood, fig3b_minflood, table1_http
+from repro.experiments import Preset, RunConfig, experiment_ids, run_experiment
+from repro.experiments import (
+    ablations,
+    fig2_bandwidth,
+    fig3a_flood,
+    fig3b_minflood,
+    fleet_flood,
+    table1_http,
+)
 
 TINY = MeasurementSettings(duration=0.3, http_duration=0.6)
 
@@ -31,7 +38,7 @@ class TestRegistry:
 
 class TestFig2:
     def test_reduced_run_shapes(self):
-        result = fig2_bandwidth.run(preset=tiny(depths=(1, 64), vpg_counts=(1,)))
+        result = fig2_bandwidth.run(RunConfig(preset=tiny(depths=(1, 64), vpg_counts=(1,))))
         assert set(result.series) == {"EFW", "ADF", "iptables", "ADF (VPG)"}
         efw = dict(result.series["EFW"])
         adf = dict(result.series["ADF"])
@@ -42,7 +49,7 @@ class TestFig2:
         assert efw[1] > 85 and adf[1] > 85
 
     def test_table_rendering(self):
-        result = fig2_bandwidth.run(preset=tiny(depths=(1,), vpg_counts=(1,)))
+        result = fig2_bandwidth.run(RunConfig(preset=tiny(depths=(1,), vpg_counts=(1,))))
         table = result.table()
         assert "Figure 2" in table
         assert "EFW" in table and "ADF (VPG)" in table
@@ -50,7 +57,7 @@ class TestFig2:
 
 class TestFig3a:
     def test_reduced_run_shapes(self):
-        result = fig3a_flood.run(preset=tiny(flood_rates=(0, 50000), repetitions=1))
+        result = fig3a_flood.run(RunConfig(preset=tiny(flood_rates=(0, 50000), repetitions=1)))
         efw = dict(result.series["EFW"])
         none = dict(result.series["No Firewall"])
         # The flood kills the EFW but not the bare NIC.
@@ -58,13 +65,13 @@ class TestFig3a:
         assert none[50000] > 10 * max(efw[50000], 0.1)
 
     def test_table_rendering(self):
-        result = fig3a_flood.run(preset=tiny(flood_rates=(0,), repetitions=1))
+        result = fig3a_flood.run(RunConfig(preset=tiny(flood_rates=(0,), repetitions=1)))
         assert "Figure 3a" in result.table()
 
 
 class TestFig3b:
     def test_reduced_run_reports_lockup_for_efw_deny(self):
-        result = fig3b_minflood.run(preset=tiny(depths=(64,), probe_duration=0.3))
+        result = fig3b_minflood.run(RunConfig(preset=tiny(depths=(64,), probe_duration=0.3)))
         efw_deny = dict(result.series["EFW (Deny)"])[64]
         assert efw_deny.lockup
         efw_allow = dict(result.series["EFW (Allow)"])[64]
@@ -73,7 +80,7 @@ class TestFig3b:
         assert "LOCKUP" in table
 
     def test_deny_exceeds_allow_for_adf(self):
-        result = fig3b_minflood.run(preset=tiny(depths=(64,), probe_duration=0.3))
+        result = fig3b_minflood.run(RunConfig(preset=tiny(depths=(64,), probe_duration=0.3)))
         allow = dict(result.series["ADF (Allow)"])[64]
         deny = dict(result.series["ADF (Deny)"])[64]
         assert deny.rate_pps > allow.rate_pps
@@ -81,7 +88,7 @@ class TestFig3b:
 
 class TestTable1:
     def test_reduced_run_shapes(self):
-        result = table1_http.run(preset=tiny(depths=(1, 64), vpg_counts=(1,)))
+        result = table1_http.run(RunConfig(preset=tiny(depths=(1, 64), vpg_counts=(1,))))
         assert result.standard_nic.fetches_per_second > 0
         by_depth = {m.rule_depth: m for m in result.adf_standard}
         assert by_depth[64].fetches_per_second < by_depth[1].fetches_per_second
@@ -102,3 +109,19 @@ class TestAblations:
     def test_ring_size_ablation_runs(self):
         result = ablations.ring_size(settings=TINY, ring_sizes=(16, 256))
         assert len(result.outcomes) == 2
+
+
+class TestFleet:
+    def test_flooded_share_is_denied_and_the_rest_survives(self):
+        result = fleet_flood.run(
+            RunConfig(preset=tiny(fleet_sizes=(4,), flood_shares=(0.0, 0.5)))
+        )
+        by_share = {p.flood_share: p for p in result.points}
+        calm, attacked = by_share[0.0], by_share[0.5]
+        # Exactly the attacked half of the fleet is denied service, and
+        # the fleet aggregate drops accordingly.
+        assert calm.dos_fraction == 0.0
+        assert attacked.dos_fraction == pytest.approx(0.5)
+        assert attacked.aggregate_goodput_mbps < calm.aggregate_goodput_mbps
+        assert attacked.policy_pushes_failed == 0
+        assert "Fleet flood tolerance" in result.table()

@@ -240,19 +240,14 @@ class TestRuleSetEvaluation:
         assert len(ruleset) == 1
         assert ruleset.version == 0
 
-    def test_deprecated_mutators_warn_and_still_invalidate(self):
+    def test_deprecated_single_shot_mutators_are_gone(self):
+        # append/insert/remove were deprecated thin wrappers over
+        # mutate(); their one-release grace period is over and they must
+        # not silently reappear — all edits batch through mutate().
         ruleset = RuleSet([Rule(action=Action.ALLOW)], default_action=Action.DENY)
-        packet = tcp_packet()
-        assert ruleset.evaluate(packet, Direction.INBOUND).allowed
-        with pytest.warns(DeprecationWarning, match="RuleSet.insert is deprecated"):
-            ruleset.insert(0, Rule(action=Action.DENY, protocol=IpProtocol.TCP))
-        assert not ruleset.evaluate(packet, Direction.INBOUND).allowed
-        with pytest.warns(DeprecationWarning, match="RuleSet.remove is deprecated"):
-            ruleset.remove(ruleset.rules[0])
-        assert ruleset.evaluate(packet, Direction.INBOUND).allowed
-        with pytest.warns(DeprecationWarning, match="RuleSet.append is deprecated"):
-            ruleset.append(Rule(action=Action.DENY))
-        assert ruleset.version == 3
+        assert not hasattr(ruleset, "append")
+        assert not hasattr(ruleset, "insert")
+        assert not hasattr(ruleset, "remove")
 
     def test_cached_result_identical_to_fresh(self):
         ruleset = RuleSet([Rule(action=Action.ALLOW, protocol=IpProtocol.TCP)])

@@ -96,6 +96,66 @@ class TestPolicyServer:
         assert bob.nic.agent_restarts == 1
 
 
+class TestRetryingPush:
+    @pytest.fixture
+    def assigned(self, policy_net):
+        mininet, server, agent, bob = policy_net
+        server.define_policy("p", deny_all())
+        server.assign("bob", "p")
+        return mininet, server, agent, bob
+
+    def test_default_push_stays_fire_and_forget(self, assigned):
+        mininet, server, _, _ = assigned
+        server.push_policy("bob", inline=False)
+        assert server._awaiting_ack == {}
+        mininet.run(0.1)
+        assert server.pushes_acked == 1
+        assert server.pushes_retried == 0
+
+    def test_lost_push_is_resent_and_acked(self, assigned):
+        mininet, server, _, bob = assigned
+        real_send = server._send_push_datagram
+        sends = []
+
+        def lossy(agent, policy_name, ruleset):
+            sends.append(policy_name)
+            if len(sends) == 1:
+                return  # first datagram lost on the wire
+            real_send(agent, policy_name, ruleset)
+
+        server._send_push_datagram = lossy
+        server.push_policy("bob", inline=False, retries=2, ack_timeout=0.05)
+        mininet.run(0.5)
+        assert bob.nic.policy is not None
+        assert sends == ["p", "p"]
+        assert server.pushes_retried == 1
+        assert server.pushes_acked == 1
+        assert server.pushes_failed == 0
+        retried = server.audit.events(kind=AuditEventKind.PUSH_RETRIED)
+        assert len(retried) == 1 and retried[0].subject == "bob"
+        assert server._awaiting_ack == {}
+
+    def test_retries_exhausted_records_failure(self, assigned):
+        mininet, server, _, bob = assigned
+        sends = []
+        server._send_push_datagram = lambda agent, name, ruleset: sends.append(name)
+        server.push_policy("bob", inline=False, retries=2, ack_timeout=0.05)
+        mininet.run(0.5)
+        assert bob.nic.policy is None
+        assert sends == ["p", "p", "p"]  # original + 2 retries
+        assert server.pushes_retried == 2
+        assert server.pushes_failed == 1
+        assert server.pushes_acked == 0
+        failed = server.audit.events(kind=AuditEventKind.PUSH_FAILED)
+        assert len(failed) == 1 and failed[0].subject == "bob"
+        assert server._awaiting_ack == {}
+
+    def test_retries_require_ack_timeout(self, assigned):
+        _, server, _, _ = assigned
+        with pytest.raises(ValueError, match="ack_timeout"):
+            server.push_policy("bob", inline=False, retries=1)
+
+
 class TestAuditLog:
     def test_filtering(self):
         log = AuditLog()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.methodology import MeasurementSettings
-from repro.experiments import runner
+from repro.experiments import RunConfig, runner
 from repro.experiments.presets import (
     FULL,
     QUICK,
@@ -59,69 +59,54 @@ class TestResolvePreset:
 
 
 def _recording_entry(calls):
-    def entry(
-        *,
-        preset,
-        progress=None,
-        jobs=None,
-        metrics=None,
-        trace=None,
-        checkpoint=None,
-        retries=0,
-        point_timeout=None,
-        on_failure="raise",
-    ):
-        calls.append(
-            {
-                "preset": preset,
-                "progress": progress,
-                "jobs": jobs,
-                "metrics": metrics,
-                "trace": trace,
-                "checkpoint": checkpoint,
-                "retries": retries,
-                "point_timeout": point_timeout,
-                "on_failure": on_failure,
-            }
-        )
+    def entry(config):
+        calls.append(config)
         return "ran"
 
     return entry
 
 
 class TestExperimentSpecRun:
-    def test_run_normalizes_and_forwards_keywords(self):
+    def test_run_resolves_the_preset_and_forwards_one_config(self):
         calls = []
         spec = runner.ExperimentSpec("fig3a", "t", _recording_entry(calls))
         sentinel_progress = lambda line: None  # noqa: E731
         sentinel_metrics = object()
         sentinel_trace = object()
         sentinel_checkpoint = object()
-        result = spec.run(
+        config = RunConfig(
             preset="quick", progress=sentinel_progress, jobs=3,
             metrics=sentinel_metrics, trace=sentinel_trace,
             checkpoint=sentinel_checkpoint, retries=2, point_timeout=30.0,
             on_failure="record",
         )
+        result = spec.run(config)
         assert result == "ran"
-        assert calls == [
-            {
-                "preset": QUICK["fig3a"],
-                "progress": sentinel_progress,
-                "jobs": 3,
-                "metrics": sentinel_metrics,
-                "trace": sentinel_trace,
-                "checkpoint": sentinel_checkpoint,
-                "retries": 2,
-                "point_timeout": 30.0,
-                "on_failure": "record",
-            }
-        ]
+        [forwarded] = calls
+        assert isinstance(forwarded, RunConfig)
+        assert forwarded.preset is QUICK["fig3a"]
+        assert forwarded.progress is sentinel_progress
+        assert forwarded.jobs == 3
+        assert forwarded.metrics is sentinel_metrics
+        assert forwarded.trace is sentinel_trace
+        assert forwarded.checkpoint is sentinel_checkpoint
+        assert forwarded.retries == 2
+        assert forwarded.point_timeout == 30.0
+        assert forwarded.on_failure == "record"
+
+    def test_run_accepts_legacy_keywords_with_a_warning(self):
+        calls = []
+        spec = runner.ExperimentSpec("fig3a", "t", _recording_entry(calls))
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            spec.run(preset="quick", jobs=3)
+        [forwarded] = calls
+        assert forwarded.preset is QUICK["fig3a"]
+        assert forwarded.jobs == 3
 
     def test_run_defaults_to_full(self):
         calls = []
         runner.ExperimentSpec("fig2", "t", _recording_entry(calls)).run()
-        assert calls[0]["preset"] is FULL
+        assert calls[0].preset is FULL
 
     def test_deprecated_shims_are_gone(self):
         # run_full/run_quick were removed once every caller migrated to
@@ -146,12 +131,14 @@ class TestRunExperimentResult:
 
     def test_quick_flag_selects_the_quick_preset(self, stub_registry):
         runner.run_experiment_result("stub", quick=True)
-        assert stub_registry[0]["preset"].name == "quick"
+        assert stub_registry[0].preset.name == "quick"
 
     def test_explicit_preset_wins_over_quick(self, stub_registry):
         custom = Preset(name="custom", depths=(2,))
-        runner.run_experiment_result("stub", quick=True, preset=custom)
-        assert stub_registry[0]["preset"] is custom
+        runner.run_experiment_result(
+            "stub", quick=True, config=RunConfig(preset=custom)
+        )
+        assert stub_registry[0].preset is custom
 
     def test_unknown_id_rejected(self):
         with pytest.raises(KeyError, match="unknown experiment"):

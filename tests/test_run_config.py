@@ -1,0 +1,91 @@
+"""Tests for the unified RunConfig run API and its legacy-kwargs shim."""
+
+import warnings
+
+import pytest
+
+from repro.core.methodology import MeasurementSettings
+from repro.core.parallel import ON_FAILURE_RAISE, ON_FAILURE_RECORD
+from repro.experiments import FULL, QUICK, Preset, RunConfig
+from repro.experiments import fig2_bandwidth
+from repro.experiments.results import to_json
+
+TINY = Preset(
+    name="tiny",
+    settings=MeasurementSettings(duration=0.3),
+    depths=(1, 16),
+    vpg_counts=(1,),
+)
+
+
+class TestCoerce:
+    def test_no_arguments_yields_the_default_config(self):
+        config = RunConfig.coerce(None, {})
+        assert config == RunConfig()
+        assert config.preset is None and config.retries == 0
+
+    def test_config_passes_through_unchanged(self):
+        config = RunConfig(preset="quick", jobs=2)
+        assert RunConfig.coerce(config, {}) is config
+
+    def test_legacy_kwargs_build_an_equal_config(self):
+        progress = lambda line: None  # noqa: E731
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            coerced = RunConfig.coerce(None, {"preset": TINY, "jobs": 3, "progress": progress})
+        assert coerced == RunConfig(preset=TINY, jobs=3, progress=progress)
+
+    def test_legacy_kwargs_warn_by_default(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            RunConfig.coerce(None, {"jobs": 2})
+
+    def test_warn_false_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            RunConfig.coerce(None, {"jobs": 2}, warn=False)
+
+    def test_config_and_kwargs_together_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            RunConfig.coerce(RunConfig(), {"jobs": 2})
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TypeError, match="unknown run"):
+            RunConfig.coerce(None, {"job": 2})
+
+    def test_non_config_positional_rejected(self):
+        with pytest.raises(TypeError, match="RunConfig"):
+            RunConfig.coerce("quick", {})
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            RunConfig().jobs = 4
+
+
+class TestResolution:
+    def test_none_preset_resolves_to_full(self):
+        assert RunConfig().resolved_preset("fig2") is FULL
+
+    def test_name_resolves_per_experiment(self):
+        assert RunConfig(preset="quick").resolved_preset("fig3a") is QUICK["fig3a"]
+
+    def test_preset_instance_passes_through(self):
+        assert RunConfig(preset=TINY).resolved_preset("fig2") is TINY
+
+    def test_executor_carries_the_fault_tolerance_fields(self):
+        executor = RunConfig(
+            jobs=1, retries=3, point_timeout=5.0, on_failure="record"
+        ).executor()
+        assert executor.retries == 3
+        assert executor.point_timeout == 5.0
+        assert executor.on_failure == ON_FAILURE_RECORD
+        assert RunConfig(jobs=1).executor().on_failure == ON_FAILURE_RAISE
+
+
+class TestLegacyEquivalence:
+    def test_legacy_and_config_runs_serialize_to_identical_bytes(self):
+        """The deprecation shim must not change results in any way."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = fig2_bandwidth.run(preset=TINY, jobs=1)
+        config = fig2_bandwidth.run(RunConfig(preset=TINY, jobs=1))
+        assert to_json(legacy) == to_json(config)

@@ -235,3 +235,62 @@ class TestPendingAccounting:
         assert fired == ["end"]
         assert sim.now == 8.0
         assert sim.pending_count() == 0
+
+
+class TestBatchedSameTimestampDispatch:
+    """Regression pins for the time-bucket kernel: a timestamp's events
+    drain as one FIFO batch, and insertions/cancellations made *during*
+    the batch keep the exact ordering the heap kernel guaranteed."""
+
+    def test_insertions_during_a_batch_join_its_tail(self, sim):
+        fired = []
+
+        def first():
+            fired.append("first")
+            # Same-timestamp insertion while the batch is draining: runs
+            # after everything already queued for this instant.
+            sim.call_soon(fired.append, "appended")
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, fired.append, "second")
+        sim.run()
+        assert fired == ["first", "second", "appended"]
+
+    def test_cancellation_inside_a_batch_is_honoured(self, sim):
+        fired = []
+        victim = sim.schedule(1.0, fired.append, "victim")
+
+        def assassin():
+            fired.append("assassin")
+            victim.cancel()
+
+        # The assassin fires just before the shared timestamp, so the
+        # victim must not run even though its batch is already formed.
+        sim.schedule(1.0, fired.append, "bystander")
+        sim.schedule(0.9999, assassin)
+        sim.run()
+        assert fired == ["assassin", "bystander"]
+        assert sim.events_cancelled == 1
+
+    def test_nested_same_time_chains_stay_fifo(self, sim):
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.call_soon(chain, depth + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.schedule(1.0, fired.append, "peer-a")
+        sim.schedule(1.0, fired.append, "peer-b")
+        sim.run()
+        # Each nested call_soon lands behind the peers queued earlier.
+        assert fired == [0, "peer-a", "peer-b", 1, 2, 3]
+        assert sim.now == 1.0
+
+    def test_interleaved_timestamps_drain_in_order(self, sim):
+        fired = []
+        for when, tag in ((2.0, "b1"), (1.0, "a1"), (2.0, "b2"), (1.0, "a2")):
+            sim.schedule(when, fired.append, tag)
+        sim.run()
+        assert fired == ["a1", "a2", "b1", "b2"]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.timer import PeriodicTimer, Timer
+from repro.sim.timer import PeriodicTimer, Timer, TimerWheel
 
 
 class TestTimer:
@@ -121,3 +121,78 @@ class TestPeriodicTimer:
         timer.start()
         with pytest.raises(RuntimeError):
             timer.start()
+
+
+class TestTimerWheel:
+    def test_periodic_timers_share_one_kernel_event_per_tick(self, sim):
+        # The whole point of the wheel: however many timers are due at a
+        # tick, the kernel dispatches exactly one event for it.
+        wheel = TimerWheel(sim, tick=0.001)
+        counts = [0, 0, 0]
+
+        def bump(i):
+            counts[i] += 1
+
+        for i in range(3):
+            wheel.schedule_periodic(0.001, bump, i)
+        sim.run(until=0.0105)
+        assert counts == [10, 10, 10]
+        assert sim.events_executed == wheel.ticks_executed == 10
+
+    def test_intervals_quantize_up_to_whole_ticks(self, sim):
+        wheel = TimerWheel(sim, tick=0.001)
+        fired = []
+        wheel.schedule(0.0014, lambda: fired.append(sim.now))
+        wheel.schedule(0.0001, lambda: fired.append(sim.now))
+        sim.run()
+        # 0.0014 -> 2 ticks, 0.0001 -> minimum 1 tick.
+        assert fired == [pytest.approx(0.001), pytest.approx(0.002)]
+
+    def test_cancel_is_lazy_but_suppresses_the_callback(self, sim):
+        wheel = TimerWheel(sim, tick=0.001)
+        fired = []
+        keep = wheel.schedule_periodic(0.001, lambda: fired.append("keep"))
+        drop = wheel.schedule_periodic(0.001, lambda: fired.append("drop"))
+        sim.run(until=0.0025)
+        drop.cancel()
+        sim.run(until=0.0055)
+        assert fired.count("drop") == 2
+        assert fired.count("keep") == 5
+        assert wheel.live_timers == 1 or wheel.live_timers == 2  # pre/post reap
+
+    def test_wheel_goes_idle_when_drained(self, sim):
+        wheel = TimerWheel(sim, tick=0.001)
+        timer = wheel.schedule_periodic(0.001, lambda: None)
+        sim.run(until=0.003)
+        timer.cancel()
+        sim.run(until=0.010)
+        executed_when_idle = sim.events_executed
+        sim.run(until=0.050)
+        # No timers -> no tick events keep firing.
+        assert sim.events_executed == executed_when_idle
+
+    def test_rearming_after_idle_does_not_fire_in_the_past(self, sim):
+        wheel = TimerWheel(sim, tick=0.001)
+        wheel.schedule(0.001, lambda: None)
+        sim.run(until=0.010)
+        fired = []
+        wheel.schedule(0.001, lambda: fired.append(sim.now))
+        sim.run(until=0.020)
+        assert fired == [pytest.approx(0.011)]
+
+    def test_callback_scheduling_into_the_wheel_lands_on_a_later_tick(self, sim):
+        wheel = TimerWheel(sim, tick=0.001)
+        fired = []
+
+        def first():
+            fired.append(("first", sim.now))
+            wheel.schedule(0.001, lambda: fired.append(("second", sim.now)))
+
+        wheel.schedule(0.001, first)
+        sim.run()
+        assert fired[0] == ("first", pytest.approx(0.001))
+        assert fired[1] == ("second", pytest.approx(0.002))
+
+    def test_nonpositive_tick_rejected(self, sim):
+        with pytest.raises(ValueError):
+            TimerWheel(sim, tick=0.0)

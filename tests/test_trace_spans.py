@@ -10,7 +10,6 @@ as metrics, ``jobs=1`` and ``jobs=N`` must produce identical traces.
 
 import importlib
 import sys
-import warnings
 
 import pytest
 
@@ -140,17 +139,12 @@ class TestWorkerCountEquivalence:
 
 
 class TestLegacyShim:
-    def test_sim_trace_module_warns_and_aliases(self):
+    def test_sim_trace_shim_is_gone(self):
+        # The repro.sim.trace forwarding shim was removed after its
+        # one-release grace period; it must not silently reappear.
         sys.modules.pop("repro.sim.trace", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            import repro.sim.trace as shim
-            importlib.reload(shim)
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        from repro.obs.tracing import PacketTracer, TraceRecord
-
-        assert shim.Tracer is PacketTracer
-        assert shim.TraceRecord is TraceRecord
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.sim.trace")
 
     def test_package_alias_matches_new_home(self):
         import repro.sim as sim
