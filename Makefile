@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-all bench bench-quick bench-equivalence bench-trace experiments experiments-quick examples clean
+.PHONY: install test test-slow test-all test-deprecations bench bench-quick bench-equivalence bench-trace bench-mitigation bench-mitigation-smoke experiments experiments-quick examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -16,6 +16,13 @@ test-slow:
 
 test-all:
 	$(PYTHON) -m pytest tests/ -m "slow or not slow"
+
+# Tier-1 with DeprecationWarnings from repro.* promoted to errors: no
+# in-repo caller may lean on the legacy run() keywords or the PushReport
+# mapping view (tests exercising the shims use pytest.warns, which
+# overrides the filter inside its block).
+test-deprecations:
+	$(PYTHON) -m pytest tests/ -x -q -W "error::DeprecationWarning:repro"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -45,6 +52,16 @@ bench-fleet:
 
 bench-fleet-smoke:
 	$(PYTHON) benchmarks/fleet_bench.py --smoke
+
+# Closed-loop flood defense: recovery fraction + detection/mitigation
+# latency per (device, defense mode), gated on the undefended-EFW
+# collapse and >=80% recovery for rate-limit/quarantine -> merged into
+# BENCH_parallel.json (CI runs the smoke variant).
+bench-mitigation:
+	$(PYTHON) benchmarks/mitigation_bench.py
+
+bench-mitigation-smoke:
+	$(PYTHON) benchmarks/mitigation_bench.py --smoke
 
 experiments:
 	$(PYTHON) -m repro.experiments all

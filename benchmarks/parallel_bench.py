@@ -62,7 +62,7 @@ import time
 from typing import List, Optional, Tuple
 
 from repro.core.parallel import resolve_jobs
-from repro.experiments import runner
+from repro.experiments import RunConfig, runner
 from repro.firewall.compiled import compiled_enabled, set_compiled_enabled
 from repro.obs import MetricsCollector, TraceCollector, TraceConfig
 
@@ -80,7 +80,9 @@ def _timed_run(experiment_id: str, jobs: int, metrics=None, trace=None) -> Tuple
     """Run one quick preset; return (wall-clock seconds, rendered output)."""
     start = time.perf_counter()
     result = runner.run_experiment_result(
-        experiment_id, quick=True, jobs=jobs, metrics=metrics, trace=trace
+        experiment_id,
+        quick=True,
+        config=RunConfig(jobs=jobs, metrics=metrics, trace=trace),
     )
     elapsed = time.perf_counter() - start
     return elapsed, runner.render_result(result)

@@ -12,7 +12,7 @@ Run:  python examples/flood_telemetry.py
 
 from repro.core.methodology import MeasurementSettings
 from repro.core.reports import ascii_plot
-from repro.experiments import fig3a_flood
+from repro.experiments import RunConfig, fig3a_flood
 from repro.experiments.presets import Preset
 from repro.obs import MetricsCollector
 
@@ -30,7 +30,7 @@ def main() -> None:
         flood_rates=rates,
         repetitions=1,
     )
-    result = fig3a_flood.run(preset=preset, metrics=collector)
+    result = fig3a_flood.run(RunConfig(preset=preset, metrics=collector))
 
     print("== Available bandwidth (EFW) ==")
     for rate, mbps in result.series["EFW"]:

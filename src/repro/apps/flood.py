@@ -104,6 +104,11 @@ class FloodGenerator:
         self._interval = 0.0
         self._target: Optional[Ipv4Address] = None
         self.packets_sent = 0
+        #: Virtual times of the last start()/stop(), for the recovery
+        #: accounting in repro.defense (time-to-detect is measured from
+        #: flood onset, which only the attacker knows exactly).
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
 
     @property
     def running(self) -> bool:
@@ -128,6 +133,8 @@ class FloodGenerator:
             raise RuntimeError("flood already running")
         self._target = target
         self._interval = 1.0 / rate_pps
+        self.started_at = self.sim.now
+        self.stopped_at = None
         if self._wheel is not None:
             self._wheel_timer = self._wheel.schedule_periodic(
                 self._interval, self._send_one, initial_delay=self._interval
@@ -142,6 +149,8 @@ class FloodGenerator:
 
     def stop(self) -> None:
         """Stop the flood.  Idempotent."""
+        if self.running:
+            self.stopped_at = self.sim.now
         if self._timer is not None:
             self._timer.stop()
             self._timer = None

@@ -41,8 +41,11 @@ from repro.nic.adf import AdfNic
 from repro.nic.efw import EfwNic
 from repro.nic.hardened import HardenedNic
 from repro.nic.standard import StandardNic
+from repro.defense.controller import DefenseConfig, MitigationController
+from repro.defense.detector import FloodDetector
 from repro.obs import collect as obs_collect
 from repro.obs.tracing import collect as trace_collect
+from repro.policy.push import PushReport
 from repro.policy.server import NicAgent, PolicyServer
 from repro.sim import units
 from repro.sim.engine import Simulator
@@ -216,6 +219,11 @@ class FleetTestbed:
         self._flood_generators: List[FloodGenerator] = []
         self._servers: Dict[str, IperfServer] = {}
         self._sessions: Dict[str, UdpIperfSession] = {}
+        #: The distribution round's per-host outcomes, once
+        #: :meth:`distribute_policies` runs.
+        self.push_report: Optional[PushReport] = None
+        #: The MitigationController once :meth:`enable_defense` runs.
+        self.defense: Optional[MitigationController] = None
 
     def _build_nic(self, station: str):
         kind = self.spec.device if station.startswith("t") else DeviceKind.STANDARD
@@ -241,7 +249,7 @@ class FleetTestbed:
         retries: int = 2,
         ack_timeout: float = 0.05,
         networked: bool = True,
-    ) -> None:
+    ) -> PushReport:
         """Define, assign, and push one rule-set per protected NIC.
 
         Each target gets its own policy: padding to the configured depth
@@ -251,9 +259,14 @@ class FleetTestbed:
         the shared fabric with per-host ack timeout and retry; the
         simulation is then run until every push is acked or has
         exhausted its retries.
+
+        Returns the round's :class:`~repro.policy.push.PushReport`
+        (also kept as :attr:`push_report`); for non-embedded devices
+        there is nothing to push and the report is empty.
         """
+        self.push_report = PushReport()
         if not self.spec.device.is_embedded:
-            return
+            return self.push_report
         for name in self.target_names:
             host = self.hosts[name]
             ruleset = padded_ruleset(
@@ -266,12 +279,15 @@ class FleetTestbed:
             self.policy_server.define_policy(ruleset.name, ruleset)
             self.policy_server.assign(name, ruleset.name)
         if not networked:
-            self.policy_server.push_all(inline=True)
-            return
-        self.policy_server.push_all(retries=retries, ack_timeout=ack_timeout)
+            self.push_report = self.policy_server.push_all(inline=True)
+            return self.push_report
+        self.push_report = self.policy_server.push_all(
+            retries=retries, ack_timeout=ack_timeout
+        )
         # Worst case: every push burns every retry.
         deadline = self.sim.now + (retries + 1) * ack_timeout + 0.01
         self.sim.run(until=deadline)
+        return self.push_report
 
     # ------------------------------------------------------------------
     # Load
@@ -331,12 +347,87 @@ class FleetTestbed:
         for name, session in self._sessions.items():
             result.goodput_mbps[name] = session.result().mbps
             result.attacked[name] = name in attacked and bool(self.attacker_names)
-        result.policy_pushes_acked = self.policy_server.pushes_acked
-        result.policy_pushes_retried = self.policy_server.pushes_retried
-        result.policy_pushes_failed = self.policy_server.pushes_failed
+        report = self.push_report
+        if report is not None:
+            # The distribution round's typed report is authoritative; it
+            # matches the server counters exactly unless something else
+            # (a mitigation re-push) has pushed since.
+            result.policy_pushes_acked = report.acked
+            result.policy_pushes_retried = report.retried
+            result.policy_pushes_failed = report.failed
+        else:
+            result.policy_pushes_acked = self.policy_server.pushes_acked
+            result.policy_pushes_retried = self.policy_server.pushes_retried
+            result.policy_pushes_failed = self.policy_server.pushes_failed
         result.events_executed = self.sim.events_executed - events_before
         result.elapsed_sim_seconds = self.sim.now - started
         return result
+
+    def measure_goodput(self, duration: float) -> Dict[str, float]:
+        """Run one standalone goodput window; per-target Mbps.
+
+        Unlike :meth:`measure` this neither starts floods nor assumes a
+        fresh testbed: the iperf servers are created once and reused, so
+        successive windows (baseline, flooded, recovery) measure against
+        the same bound ports.  Each window uses fresh client sessions,
+        which snapshot the server's delivery counters at start.
+        """
+        started = self.sim.now
+        sessions: Dict[str, UdpIperfSession] = {}
+        for target_name, client_name in zip(self.target_names, self.client_names):
+            server = self._servers.get(target_name)
+            if server is None:
+                server = IperfServer(self.hosts[target_name], self.spec.iperf_port)
+                self._servers[target_name] = server
+            sessions[target_name] = IperfClient(self.hosts[client_name]).start_udp(
+                server,
+                rate_pps=self.spec.client_rate_pps,
+                payload_size=self.spec.client_payload_size,
+                duration=duration,
+            )
+        self.sim.run(until=started + duration + 0.05)
+        return {name: session.result().mbps for name, session in sessions.items()}
+
+    # ------------------------------------------------------------------
+    # Closed-loop defense
+    # ------------------------------------------------------------------
+
+    def enable_defense(self, config: Optional[DefenseConfig] = None) -> MitigationController:
+        """Arm the closed flood-defense loop around every target.
+
+        Fleet-scale mirror of ``Testbed.enable_defense``: fast-cadence
+        heartbeats from every agent, one detector watching every
+        protected NIC, and a controller whose quarantine hook blocks the
+        offender's access port at its home leaf switch.
+        """
+        if not self.spec.device.is_embedded:
+            raise RuntimeError("defense needs embedded enforcement points on the targets")
+        if self.defense is not None:
+            raise RuntimeError("defense already enabled")
+        if config is None:
+            config = DefenseConfig()
+        server = self.policy_server
+        server.enable_heartbeat_monitor(
+            check_interval=config.heartbeat_check_interval,
+            grace=config.heartbeat_grace,
+        )
+        for agent in self.agents.values():
+            agent.start_heartbeat(server.host.ip, interval=config.heartbeat_interval)
+        detector = FloodDetector(self.sim, server=server, config=config.detector)
+        for name in self.target_names:
+            detector.watch(name, self.hosts[name].nic)
+        ip_to_station = {str(host.ip): name for name, host in self.hosts.items()}
+        controller = MitigationController(
+            self.sim,
+            server,
+            detector,
+            config.actions,
+            station_for_ip=ip_to_station.get,
+            quarantine=self.fabric.quarantine_station,
+        )
+        detector.start()
+        self.defense = controller
+        return controller
 
     def run(self, duration: float) -> None:
         """Advance the simulation by ``duration`` seconds."""

@@ -19,6 +19,8 @@ import enum
 from typing import Dict
 
 from repro import calibration
+from repro.defense.controller import DefenseConfig, MitigationController
+from repro.defense.detector import FloodDetector
 from repro.sim import units
 from repro.firewall.iptables import IptablesFilter
 from repro.firewall.ruleset import RuleSet
@@ -108,6 +110,8 @@ class Testbed:
         self.topology = StarTopology(self.sim, bandwidth_bps=bandwidth_bps)
         self.hosts: Dict[str, Host] = {}
         self.agents: Dict[str, NicAgent] = {}
+        #: The MitigationController once :meth:`enable_defense` runs.
+        self.defense = None
 
         for index, name in enumerate(STATIONS, start=1):
             host = Host(
@@ -195,6 +199,50 @@ class Testbed:
         if agent is None:
             raise RuntimeError("target has no NIC agent (not an embedded device)")
         agent.restart()
+
+    # ------------------------------------------------------------------
+    # Closed-loop defense
+    # ------------------------------------------------------------------
+
+    def enable_defense(self, config=None) -> MitigationController:
+        """Arm the closed flood-defense loop around the target.
+
+        Starts fast-cadence agent heartbeats and the server's monitor,
+        watches the target's NIC with a
+        :class:`~repro.defense.detector.FloodDetector`, and stands up a
+        :class:`~repro.defense.controller.MitigationController` wired to
+        this topology (so :class:`~repro.defense.actions.QuarantinePort`
+        can cut an identified flooder off at the switch).  Returns the
+        controller; call its :meth:`report` after the run for recovery
+        accounting.
+        """
+        if not self.device.is_embedded:
+            raise RuntimeError("defense needs an embedded enforcement point on the target")
+        if self.defense is not None:
+            raise RuntimeError("defense already enabled")
+        if config is None:
+            config = DefenseConfig()
+        server = self.policy_server
+        server.enable_heartbeat_monitor(
+            check_interval=config.heartbeat_check_interval,
+            grace=config.heartbeat_grace,
+        )
+        for agent in self.agents.values():
+            agent.start_heartbeat(server.host.ip, interval=config.heartbeat_interval)
+        detector = FloodDetector(self.sim, server=server, config=config.detector)
+        detector.watch("target", self.target.nic)
+        ip_to_station = {str(host.ip): name for name, host in self.hosts.items()}
+        controller = MitigationController(
+            self.sim,
+            server,
+            detector,
+            config.actions,
+            station_for_ip=ip_to_station.get,
+            quarantine=self.topology.quarantine_station,
+        )
+        detector.start()
+        self.defense = controller
+        return controller
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,54 @@
+"""Closed-loop flood defense: detect, mitigate, recover.
+
+The paper leaves flood recovery to the operator: notice the wedged EFW,
+restart its agent, hope the flood has moved on.  This package closes the
+loop inside the simulation so recovery becomes something the experiments
+can *measure*:
+
+* :mod:`repro.defense.detector` — per-NIC flood detection from existing
+  observability counters (EWMA ingress and deny rates) plus the policy
+  server's heartbeat-silence signal, with hysteresis against legitimate
+  bursts,
+* :mod:`repro.defense.actions` — the typed mitigation catalogue:
+  targeted deny rule, ingress rate limiter, switch-port quarantine,
+  agent-restart sweep,
+* :mod:`repro.defense.controller` — the policy-server-side controller
+  that applies actions on detection and accounts for every step
+  (audit events, trace incidents, :class:`DefenseReport`).
+
+``Testbed.enable_defense`` / ``FleetTestbed.enable_defense`` wire a
+:class:`DefenseConfig` into a running testbed; the ``mitigation``
+experiment sweeps the catalogue against the Figure 3a flood.
+"""
+
+from repro.defense.actions import (
+    EnableRateLimiter,
+    QuarantinePort,
+    RestartAgent,
+    TargetedDenyRule,
+)
+from repro.defense.controller import (
+    DefenseConfig,
+    DefenseReport,
+    MitigationController,
+    MitigationRecord,
+)
+from repro.defense.detector import (
+    DetectorConfig,
+    FloodDetection,
+    FloodDetector,
+)
+
+__all__ = [
+    "DefenseConfig",
+    "DefenseReport",
+    "DetectorConfig",
+    "EnableRateLimiter",
+    "FloodDetection",
+    "FloodDetector",
+    "MitigationController",
+    "MitigationRecord",
+    "QuarantinePort",
+    "RestartAgent",
+    "TargetedDenyRule",
+]

@@ -1,8 +1,9 @@
-"""Experiment modules: one per figure/table of the paper, plus ablations
-and the fleet-scale flood workload.
+"""Experiment modules: one per figure/table of the paper, plus ablations,
+the fleet-scale flood workload, and the closed-loop flood defense
+(``mitigation``).
 
 Run them via ``python -m repro.experiments
-[fig2|fig3a|fig3b|table1|ablations|extension|fleet|all]`` (add
+[fig2|fig3a|fig3b|table1|ablations|extension|fleet|mitigation|all]`` (add
 ``--quick`` for reduced grids, ``--metrics DIR`` for per-component time
 series), or call each module's ``run()`` — every module follows the
 shared contract::

@@ -49,10 +49,14 @@ class Preset:
     ring_sizes: Optional[Tuple[int, ...]] = None
     #: iptables chain depth (ablations' stateful-firewall).
     stateful_depth: Optional[int] = None
-    #: Protected-target counts on the fabric (fleet).
+    #: Protected-target counts on the fabric (fleet, mitigation).
     fleet_sizes: Optional[Tuple[int, ...]] = None
     #: Fractions of the fleet under attack (fleet).
     flood_shares: Optional[Tuple[float, ...]] = None
+    #: Defense modes swept on the single testbed (mitigation).
+    defense_modes: Optional[Tuple[str, ...]] = None
+    #: Defense modes swept on the fleet fabric (mitigation).
+    fleet_defense_modes: Optional[Tuple[str, ...]] = None
 
     def grid(self, field_name: str, default: Any) -> Any:
         """This preset's value for one grid knob, or ``default`` if unset."""
@@ -111,6 +115,13 @@ QUICK: Dict[str, Preset] = {
         settings=MeasurementSettings(duration=0.4),
         fleet_sizes=(4, 8),
         flood_shares=(0.0, 0.5),
+    ),
+    "mitigation": Preset(
+        name="quick",
+        settings=MeasurementSettings(duration=0.3),
+        defense_modes=("off", "rate-limit", "quarantine"),
+        fleet_defense_modes=("off", "quarantine"),
+        fleet_sizes=(4,),
     ),
 }
 

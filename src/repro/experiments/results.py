@@ -110,16 +110,21 @@ def _build_type_registry() -> Dict[str, Type]:
     Imported lazily to keep module import light and avoid cycles (the
     experiment modules import this one).
     """
-    from repro.core import methodology, metrics, parallel, throughput
+    from repro.core import fleet, methodology, metrics, parallel, throughput
+    from repro.defense import controller as defense_controller
+    from repro.defense import detector as defense_detector
     from repro.experiments import (
         ablations,
         extension_hardened,
         fig2_bandwidth,
         fig3a_flood,
         fig3b_minflood,
+        fleet_flood,
+        mitigation,
         table1_http,
     )
     from repro.obs import collect, sampler
+    from repro.policy import push as policy_push
     from repro.obs.tracing import collect as trace_collect
     from repro.obs.tracing import tracer as trace_tracer
     from repro.obs.tracing import watchdog as trace_watchdog
@@ -136,6 +141,12 @@ def _build_type_registry() -> Dict[str, Type]:
         table1_http,
         extension_hardened,
         ablations,
+        fleet,
+        fleet_flood,
+        mitigation,
+        policy_push,
+        defense_detector,
+        defense_controller,
         sampler,
         collect,
         trace_collect,

@@ -2,7 +2,7 @@
 
 ``python -m repro.experiments <id>`` regenerates one artefact; ids are
 ``fig2``, ``fig3a``, ``fig3b``, ``table1``, ``ablations``, ``extension``,
-``fleet`` or ``all``.  Every experiment is an :class:`ExperimentSpec`
+``fleet``, ``mitigation`` or ``all``.  Every experiment is an :class:`ExperimentSpec`
 whose single entry point takes one
 :class:`~repro.experiments.RunConfig`::
 
@@ -42,6 +42,7 @@ from repro.experiments import (
     fig3a_flood,
     fig3b_minflood,
     fleet_flood,
+    mitigation,
     table1_http,
 )
 from repro.experiments.config import RunConfig
@@ -130,6 +131,11 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             "Fleet flood tolerance on a multi-switch fabric",
             fleet_flood.run,
         ),
+        ExperimentSpec(
+            "mitigation",
+            "Closed-loop flood defense: detection, mitigation, recovery",
+            mitigation.run,
+        ),
     )
 }
 
@@ -172,6 +178,5 @@ def run_experiment(
     jobs: Jobs = None,
 ) -> str:
     """Run one experiment and return its formatted text output."""
-    return render_result(
-        run_experiment_result(experiment_id, quick=quick, progress=progress, jobs=jobs)
-    )
+    config = RunConfig(progress=progress, jobs=jobs)
+    return render_result(run_experiment_result(experiment_id, quick=quick, config=config))

@@ -69,10 +69,16 @@ class EthernetSwitch:
         self._mac_seen: Optional[Dict[MacAddress, float]] = (
             {} if mac_ageing_time is not None else None
         )
+        #: Administratively blocked ports (flood mitigation): frames
+        #: arriving from or destined to a quarantined port are dropped.
+        #: Kept as a set so the empty-set truthiness check keeps the
+        #: unquarantined hot path at one branch per frame.
+        self._quarantined: set = set()
         # Counters
         self.forwarded_frames = 0
         self.flooded_frames = 0
         self.dropped_frames = 0
+        self.quarantined_frames = 0
 
     # ------------------------------------------------------------------
 
@@ -98,6 +104,26 @@ class EthernetSwitch:
         if self._mac_seen is not None:
             self._mac_seen[mac] = self.sim.now
 
+    def quarantine_port(self, port: LinkPort, quarantined: bool = True) -> None:
+        """Administratively block (or release) one switch port.
+
+        A quarantined port's ingress frames are discarded at the switch —
+        the offender's flood never reaches the fabric — and nothing is
+        forwarded or flooded out of it either.  This is the
+        switch-assisted mitigation a central controller applies against
+        an identified flooder (see :mod:`repro.defense.actions`).
+        """
+        if port not in self._ports:
+            raise ValueError(f"{port!r} is not a port of {self.name}")
+        if quarantined:
+            self._quarantined.add(port)
+        else:
+            self._quarantined.discard(port)
+
+    def port_is_quarantined(self, port: LinkPort) -> bool:
+        """True while ``port`` is administratively blocked."""
+        return port in self._quarantined
+
     def mac_table(self) -> Dict[MacAddress, LinkPort]:
         """A snapshot of the current (non-aged) learning table."""
         seen = self._mac_seen
@@ -117,6 +143,9 @@ class EthernetSwitch:
 
     def receive_frame(self, frame: EthernetFrame, port: LinkPort) -> None:
         """Learn the source and forward after the fabric latency."""
+        if self._quarantined and port in self._quarantined:
+            self.quarantined_frames += 1
+            return
         src = frame.src_mac
         table = self._mac_to_port
         if table.get(src) is not port:
@@ -152,6 +181,9 @@ class EthernetSwitch:
                 if egress is ingress:
                     # Destination is on the ingress segment; do not forward.
                     return
+                if self._quarantined and egress in self._quarantined:
+                    self.quarantined_frames += 1
+                    return
                 self.forwarded_frames += 1
                 if not egress.send(frame):
                     self.dropped_frames += 1
@@ -162,8 +194,12 @@ class EthernetSwitch:
 
     def _flood(self, frame: EthernetFrame, ingress: LinkPort) -> None:
         self.flooded_frames += 1
+        quarantined = self._quarantined
         for port in self._ports:
             if port is ingress:
+                continue
+            if quarantined and port in quarantined:
+                self.quarantined_frames += 1
                 continue
             if not port.send(frame):
                 self.dropped_frames += 1

@@ -87,6 +87,19 @@ class StarTopology:
         """The link serving ``station_name``."""
         return self.links[station_name]
 
+    def quarantine_station(self, station_name: str, quarantined: bool = True) -> None:
+        """Block (or release) a station's access port at the switch.
+
+        The mitigation controller's switch-assisted action against an
+        identified flooder: its frames are discarded at the access port,
+        before they can contend with anyone else's traffic.
+        """
+        self.switch.quarantine_port(self.links[station_name].port_a, quarantined)
+
+    def station_is_quarantined(self, station_name: str) -> bool:
+        """True while the station's access port is blocked."""
+        return self.switch.port_is_quarantined(self.links[station_name].port_a)
+
     def station_names(self) -> List[str]:
         """Names of all stations, in creation order."""
         return list(self.links)
@@ -253,6 +266,23 @@ class FabricTopology:
     def leaf_of(self, station_name: str) -> EthernetSwitch:
         """The switch ``station_name``'s access link terminates on."""
         return self._station_switch[station_name]
+
+    def quarantine_station(self, station_name: str, quarantined: bool = True) -> None:
+        """Block (or release) a station's access port at its home switch.
+
+        Same contract as :meth:`StarTopology.quarantine_station`: the
+        offender is cut off at its own leaf, so its flood never crosses
+        a trunk.
+        """
+        self._station_switch[station_name].quarantine_port(
+            self.links[station_name].port_a, quarantined
+        )
+
+    def station_is_quarantined(self, station_name: str) -> bool:
+        """True while the station's access port is blocked."""
+        return self._station_switch[station_name].port_is_quarantined(
+            self.links[station_name].port_a
+        )
 
     def station_names(self) -> List[str]:
         """Names of all stations, in creation order."""

@@ -93,6 +93,14 @@ class EmbeddedFirewallNic(BaseNic):
         #: rule traversed — the ablation showing why laziness matters.
         self.lazy_decrypt = True
         self.fault = None  # installed by subclasses (see repro.nic.faults)
+        #: Optional ingress token-bucket stage (see repro.nic.ratelimit),
+        #: installed by the mitigation controller.  None = disabled, one
+        #: attribute check per ingress packet.
+        self.ingress_limiter = None
+        #: Optional per-source ingress packet counts ({src -> count}),
+        #: enabled by the flood detector to identify the top talker.
+        #: None = disabled (the default; no per-packet dict work).
+        self.source_tracking: Optional[Dict] = None
         self.processor = ServiceQueue(
             sim,
             name=f"{name}.proc",
@@ -214,7 +222,37 @@ class EmbeddedFirewallNic(BaseNic):
     # Ingress / egress entry points
     # ------------------------------------------------------------------
 
+    def install_ingress_limiter(self, limiter) -> None:
+        """Install (or replace) the ingress rate-limiter stage."""
+        self.ingress_limiter = limiter
+
+    def clear_ingress_limiter(self) -> None:
+        """Remove the ingress rate-limiter stage."""
+        self.ingress_limiter = None
+
+    @property
+    def ratelimited_drops(self) -> int:
+        """Frames shed by the ingress rate limiter (0 when disabled)."""
+        limiter = self.ingress_limiter
+        return 0 if limiter is None else limiter.dropped
+
     def _process_ingress(self, frame: EthernetFrame, packet: Ipv4Packet) -> None:
+        tracking = self.source_tracking
+        if tracking is not None:
+            src = packet.src
+            tracking[src] = tracking.get(src, 0) + 1
+        limiter = self.ingress_limiter
+        if limiter is not None and not limiter.admit(packet, self.sim.now):
+            # Shed before the slow processor: the frame never costs
+            # classification time, never becomes a deny, and never feeds
+            # the deny-rate lockup fault.
+            tracer = self.sim.tracer
+            if tracer.hot:
+                tracer.event(
+                    self.sim.now, self.name, "rx-ratelimited",
+                    getattr(packet, "trace_ctx", None), packet=packet.describe(),
+                )
+            return
         item = _WorkItem(_RX, packet, frame.wire_size)
         tracer = self.sim.tracer
         if tracer.active:

@@ -1,0 +1,144 @@
+"""A token-bucket ingress rate limiter for embedded firewall NICs.
+
+The EFW's deny-flood lockup (:mod:`repro.nic.faults`) fires on the card's
+*deny rate*: every flood packet the slow processor classifies and denies
+feeds the defect, and restarting the agent alone just re-wedges the card
+while the flood continues.  The mitigation that actually works is to shed
+the flood *before* the processor: an ingress token bucket dropping
+offending frames at line-card speed keeps the deny rate under the lockup
+threshold and the ring free for legitimate traffic.
+
+:class:`TokenBucket` is the deterministic core — tokens refill as a pure
+function of virtual time, so results are identical for any ``--jobs``
+worker count.  :class:`IngressRateLimiter` wraps it as the NIC stage the
+:class:`~repro.defense.controller.MitigationController` installs via
+:meth:`~repro.nic.embedded.EmbeddedFirewallNic.install_ingress_limiter`:
+it can be scoped to a single source address and/or destination port (the
+flooder identified by the detector), and always exempts the agent's
+control-plane traffic so a rate-limited card can still be re-policied.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import policy_ports
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import Ipv4Packet
+
+
+class TokenBucket:
+    """A deterministic token bucket driven by virtual time.
+
+    ``rate_per_s`` tokens accrue per second up to ``burst`` capacity;
+    each admitted packet spends one token.  The bucket starts full, so a
+    burst of up to ``burst`` packets passes before the rate cap bites.
+    """
+
+    __slots__ = ("rate_per_s", "burst", "tokens", "_last_refill")
+
+    def __init__(self, rate_per_s: float, burst: float):
+        if rate_per_s <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_s}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last_refill: Optional[float] = None
+
+    def admit(self, now: float) -> bool:
+        """Spend one token if available; refill first from elapsed time."""
+        last = self._last_refill
+        if last is not None and now > last:
+            self.tokens = min(self.burst, self.tokens + (now - last) * self.rate_per_s)
+        self._last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class IngressRateLimiter:
+    """The NIC ingress stage: drop matching frames beyond the budget.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel (for metrics registration).
+    nic_name:
+        Label for the limiter's metrics.
+    rate_pps, burst:
+        Token-bucket parameters.
+    src:
+        Limit only packets from this source address (the identified
+        flooder).  ``None`` limits every non-control packet — the blunt
+        fallback when the flooder spoofs randomized sources.
+    dst_port:
+        Additionally restrict the scope to one UDP/TCP destination port.
+    """
+
+    def __init__(
+        self,
+        sim,
+        nic_name: str,
+        rate_pps: float,
+        burst: float = 64.0,
+        src: Optional[Ipv4Address] = None,
+        dst_port: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.nic_name = nic_name
+        self.src = src
+        self.dst_port = dst_port
+        self.bucket = TokenBucket(rate_pps, burst)
+        self.admitted = 0
+        self.dropped = 0
+        self.installed_at = sim.now
+        scope = "source" if src is not None else "all"
+        metrics = sim.metrics
+        metrics.counter_fn(
+            "nic_ratelimit_admitted", lambda: self.admitted, nic=nic_name, scope=scope
+        )
+        metrics.counter_fn(
+            "nic_ratelimit_dropped", lambda: self.dropped, nic=nic_name, scope=scope
+        )
+
+    @property
+    def rate_pps(self) -> float:
+        """The configured sustained admission rate."""
+        return self.bucket.rate_per_s
+
+    def matches(self, packet: Ipv4Packet) -> bool:
+        """True when the limiter's scope covers this packet."""
+        if policy_ports.is_control_traffic(packet):
+            # The management plane stays reserved even under mitigation:
+            # a limiter that throttled policy pushes could strand the card.
+            return False
+        if self.src is not None and packet.src != self.src:
+            return False
+        if self.dst_port is not None:
+            transport = packet.udp or packet.tcp
+            if transport is None or transport.dst_port != self.dst_port:
+                return False
+        return True
+
+    def admit(self, packet: Ipv4Packet, now: float) -> bool:
+        """Admit or drop one ingress packet; out-of-scope packets pass."""
+        if not self.matches(packet):
+            return True
+        if self.bucket.admit(now):
+            self.admitted += 1
+            return True
+        self.dropped += 1
+        return False
+
+    def describe(self) -> str:
+        """Human-readable scope summary for traces and audit details."""
+        scope = f"src={self.src}" if self.src is not None else "all sources"
+        if self.dst_port is not None:
+            scope += f" dst_port={self.dst_port}"
+        return f"{self.bucket.rate_per_s:,.0f} pps (burst {self.bucket.burst:,.0f}) over {scope}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IngressRateLimiter {self.nic_name} {self.describe()}>"

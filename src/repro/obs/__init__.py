@@ -32,6 +32,7 @@ from repro.obs.collect import (
     MetricsCollector,
     PointMetrics,
 )
+from repro.obs.ewma import RateEwma
 from repro.obs.export import flatten_rows, write_metrics_csv
 from repro.obs.instrument import instrument_simulator
 from repro.obs.registry import (
@@ -76,6 +77,7 @@ __all__ = [
     "NullRegistry",
     "PacketTracer",
     "PointMetrics",
+    "RateEwma",
     "Sampler",
     "SpanRecord",
     "TraceCollector",

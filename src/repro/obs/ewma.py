@@ -1,0 +1,60 @@
+"""Exponentially-weighted rate estimation over monotonic counters.
+
+The flood detector (:mod:`repro.defense.detector`) watches plain NIC
+counters (frames received, packets denied) and needs a smoothed
+packets-per-second view of them: raw per-tick deltas of a bursty HTTP
+workload swing wildly, and acting on a single spike is exactly the
+flapping the detector's hysteresis exists to prevent.  :class:`RateEwma`
+turns "counter total at time t" samples into an EWMA-smoothed rate,
+purely as a function of the observed (time, total) pairs — no wall
+clock, so the estimate is deterministic and identical for any worker
+count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RateEwma:
+    """EWMA-smoothed rate of a monotonically increasing counter.
+
+    ``alpha`` weights the newest per-interval rate sample; ``1 - alpha``
+    keeps the history.  The first sample only establishes the baseline
+    (a rate needs two observations), so :attr:`rate` stays 0.0 until the
+    second :meth:`update`.
+    """
+
+    __slots__ = ("alpha", "rate", "_last_total", "_last_time")
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.rate = 0.0
+        self._last_total: Optional[float] = None
+        self._last_time: Optional[float] = None
+
+    def update(self, now: float, total: float) -> float:
+        """Fold in a new counter observation and return the new rate."""
+        if self._last_time is None:
+            self._last_total = total
+            self._last_time = now
+            return self.rate
+        elapsed = now - self._last_time
+        if elapsed <= 0.0:
+            return self.rate
+        sample = max(0.0, total - self._last_total) / elapsed
+        self.rate += self.alpha * (sample - self.rate)
+        self._last_total = total
+        self._last_time = now
+        return self.rate
+
+    def reset(self) -> None:
+        """Forget the history (rate returns to 0 until two new samples)."""
+        self.rate = 0.0
+        self._last_total = None
+        self._last_time = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RateEwma alpha={self.alpha} rate={self.rate:.1f}/s>"

@@ -2,6 +2,7 @@
 
 from repro.policy.audit import AuditEvent, AuditEventKind, AuditLog
 from repro.policy.groups import VpgGroup, VpgGroupManager
+from repro.policy.push import HostPushOutcome, PushReport
 from repro.policy.server import AGENT_PORT, HEARTBEAT_PORT, NicAgent, PolicyServer
 
 __all__ = [
@@ -10,8 +11,10 @@ __all__ = [
     "AuditEvent",
     "AuditEventKind",
     "AuditLog",
+    "HostPushOutcome",
     "NicAgent",
     "PolicyServer",
+    "PushReport",
     "VpgGroup",
     "VpgGroupManager",
 ]

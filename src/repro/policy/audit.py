@@ -26,6 +26,9 @@ class AuditEventKind(enum.Enum):
     VPG_MEMBER_ADDED = "vpg-member-added"
     AGENT_RESTARTED = "agent-restarted"
     HEARTBEAT_MISSED = "heartbeat-missed"
+    HEARTBEAT_RESTORED = "heartbeat-restored"
+    FLOOD_DETECTED = "flood-detected"
+    MITIGATION_APPLIED = "mitigation-applied"
 
 
 @dataclass(frozen=True)

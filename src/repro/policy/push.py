@@ -1,0 +1,176 @@
+"""Typed per-host policy-push accounting.
+
+The policy server used to expose push outcomes only as four aggregate
+counters (``pushes_sent``/``acked``/``retried``/``failed``), which was
+enough for the fleet experiments' summary tables but useless for anything
+that needs to know *which* host's push is still outstanding — the
+mitigation controller re-pushing a deny rule to a flooded card being the
+motivating consumer.
+
+:class:`HostPushOutcome` is the per-host record: one object per push
+round, updated live by the server as the datagram is retried, confirmed,
+or given up on.  :class:`PushReport` bundles one round of
+:meth:`~repro.policy.server.PolicyServer.push_all` (or a set of
+individual pushes) and derives the aggregates from the records, so the
+counters and the report can never disagree.
+
+For one deprecation cycle :class:`PushReport` also answers the mapping
+protocol (``report["hostname"]``, iteration, ``len``) the way the
+interim ad-hoc dict did; that view warns :class:`DeprecationWarning`
+once per report and will be removed.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Push lifecycle states.
+PENDING = "pending"
+ACKED = "acked"
+FAILED = "failed"
+
+
+@dataclass
+class HostPushOutcome:
+    """The live record of one host's most recent policy push.
+
+    The server mutates this object in place as the push progresses, so a
+    caller holding the return value of
+    :meth:`~repro.policy.server.PolicyServer.push_policy` can watch the
+    ack land without polling the audit log.
+    """
+
+    host: str
+    policy: str
+    #: ``"inline"`` (synchronous install) or ``"udp"`` (networked push).
+    transport: str
+    sent_at: float
+    status: str = PENDING
+    #: Datagrams sent for this push: 1 + retries so far.
+    attempts: int = 1
+    acked_at: Optional[float] = None
+    failed_at: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Virtual seconds from first send to ack; ``None`` until acked."""
+        if self.acked_at is None:
+            return None
+        return self.acked_at - self.sent_at
+
+    @property
+    def acked(self) -> bool:
+        return self.status == ACKED
+
+    @property
+    def failed(self) -> bool:
+        return self.status == FAILED
+
+
+@dataclass
+class PushReport:
+    """One round of policy distribution, per host.
+
+    Aggregates are derived from the outcome records on access, so they
+    stay correct while in-flight pushes resolve.
+    """
+
+    outcomes: Dict[str, HostPushOutcome] = field(default_factory=dict)
+    _warned: bool = field(default=False, repr=False, compare=False)
+
+    def add(self, outcome: HostPushOutcome) -> None:
+        """Record one host's outcome (later rounds replace earlier)."""
+        self.outcomes[outcome.host] = outcome
+
+    def outcome_for(self, host: str) -> HostPushOutcome:
+        """The outcome for ``host`` (KeyError if it was not pushed to)."""
+        return self.outcomes[host]
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def hosts(self) -> List[str]:
+        """Hosts covered by this round, in push order."""
+        return list(self.outcomes)
+
+    @property
+    def acked(self) -> int:
+        return sum(1 for outcome in self.outcomes.values() if outcome.status == ACKED)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for outcome in self.outcomes.values() if outcome.status == PENDING)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes.values() if outcome.status == FAILED)
+
+    @property
+    def retried(self) -> int:
+        """Total resends across all hosts (attempts beyond the first)."""
+        return sum(outcome.attempts - 1 for outcome in self.outcomes.values())
+
+    @property
+    def all_acked(self) -> bool:
+        outcomes = self.outcomes
+        return bool(outcomes) and all(
+            outcome.status == ACKED for outcome in outcomes.values()
+        )
+
+    @property
+    def max_latency(self) -> Optional[float]:
+        """Slowest confirmed push this round; ``None`` if nothing acked."""
+        latencies = [
+            outcome.latency
+            for outcome in self.outcomes.values()
+            if outcome.latency is not None
+        ]
+        return max(latencies) if latencies else None
+
+    def failed_hosts(self) -> List[str]:
+        """Hosts whose push exhausted its retries."""
+        return [
+            host
+            for host, outcome in self.outcomes.items()
+            if outcome.status == FAILED
+        ]
+
+    # -- deprecated mapping view ---------------------------------------
+
+    def _mapping_deprecated(self) -> None:
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                "treating PushReport as a dict is deprecated; use "
+                ".outcomes / .outcome_for() and the aggregate properties",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    def __getitem__(self, host: str) -> HostPushOutcome:
+        self._mapping_deprecated()
+        return self.outcomes[host]
+
+    def __iter__(self) -> Iterator[str]:
+        self._mapping_deprecated()
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __contains__(self, host: object) -> bool:
+        return host in self.outcomes
+
+    def get(self, host: str, default: Any = None) -> Any:
+        self._mapping_deprecated()
+        return self.outcomes.get(host, default)
+
+    def keys(self):
+        self._mapping_deprecated()
+        return self.outcomes.keys()
+
+    def items(self):
+        self._mapping_deprecated()
+        return self.outcomes.items()

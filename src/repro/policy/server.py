@@ -25,6 +25,7 @@ from repro.crypto.keys import VpgKeyStore
 from repro.firewall.ruleset import RuleSet
 from repro.policy.audit import AuditEventKind, AuditLog
 from repro.policy.groups import VpgGroup, VpgGroupManager
+from repro.policy.push import ACKED, FAILED, HostPushOutcome, PushReport
 from repro.sim.timer import PeriodicTimer, Timer
 
 from repro.policy_ports import AGENT_PORT, HEARTBEAT_PORT  # noqa: F401  (re-export)
@@ -58,12 +59,17 @@ class PolicyServer:
         self.pushes_failed = 0
         #: host name -> ack-timeout timer for an in-flight networked push.
         self._awaiting_ack: Dict[str, Timer] = {}
+        #: host name -> the live outcome record of its most recent push.
+        self._push_state: Dict[str, HostPushOutcome] = {}
         # Heartbeat monitoring.
         self._heartbeat_socket = None
         self._heartbeat_timer: Optional[PeriodicTimer] = None
         self._heartbeat_grace = 0.0
+        self._recovery_beats = 2
         self._last_heartbeat: Dict[str, float] = {}
         self._silent: Dict[str, bool] = {}
+        #: host name -> heartbeats heard since the current silence began.
+        self._beats_in_silence: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Policy definition
@@ -84,6 +90,13 @@ class PolicyServer:
         if name not in self._policies:
             raise KeyError(f"no policy named {name!r}")
         return self._policies[name]
+
+    def assignment_for(self, host_name: str) -> str:
+        """The name of the policy currently assigned to ``host_name``."""
+        policy_name = self._assignments.get(host_name)
+        if policy_name is None:
+            raise KeyError(f"host {host_name!r} has no assigned policy")
+        return policy_name
 
     # ------------------------------------------------------------------
     # Agents
@@ -111,7 +124,7 @@ class PolicyServer:
         inline: bool = False,
         retries: int = 0,
         ack_timeout: Optional[float] = None,
-    ) -> None:
+    ) -> HostPushOutcome:
         """Push the assigned policy to a host's NIC agent.
 
         With ``inline=True`` the rule-set is installed synchronously;
@@ -126,6 +139,9 @@ class PolicyServer:
         exactly the fleet-scale failure this covers.  The defaults
         (``retries=0`` and no timeout) preserve the fire-and-forget
         behaviour.
+
+        Returns the live :class:`~repro.policy.push.HostPushOutcome`,
+        which the server updates in place as the push resolves.
         """
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -139,8 +155,17 @@ class PolicyServer:
             raise KeyError(f"host {host_name!r} has no registered agent")
         ruleset = self._policies[policy_name]
         self.pushes_sent += 1
+        outcome = HostPushOutcome(
+            host=host_name,
+            policy=policy_name,
+            transport="inline" if inline else "udp",
+            sent_at=self.sim.now,
+        )
+        self._push_state[host_name] = outcome
         if inline:
             agent.install(ruleset, self.key_store)
+            outcome.status = ACKED
+            outcome.acked_at = self.sim.now
             self.pushes_acked += 1
             self.audit.record(
                 self.sim.now,
@@ -149,11 +174,16 @@ class PolicyServer:
                 policy=policy_name,
                 transport="inline",
             )
-            return
+            return outcome
         agent.expect_push(policy_name, ruleset, self.key_store, self)
         self._send_push_datagram(agent, policy_name, ruleset)
         if ack_timeout is not None:
             self._arm_ack_timeout(host_name, policy_name, retries, ack_timeout)
+        return outcome
+
+    def push_outcome(self, host_name: str) -> Optional[HostPushOutcome]:
+        """The outcome record of the host's most recent push, if any."""
+        return self._push_state.get(host_name)
 
     def _send_push_datagram(self, agent: "NicAgent", policy_name: str, ruleset: RuleSet) -> None:
         payload_size = 16 + RULE_WIRE_SIZE * ruleset.table_size
@@ -182,8 +212,12 @@ class PolicyServer:
         self, host_name: str, policy_name: str, retries_left: int, ack_timeout: float
     ) -> None:
         self._awaiting_ack.pop(host_name, None)
+        outcome = self._push_state.get(host_name)
         if retries_left <= 0:
             self.pushes_failed += 1
+            if outcome is not None and outcome.policy == policy_name:
+                outcome.status = FAILED
+                outcome.failed_at = self.sim.now
             self.audit.record(
                 self.sim.now,
                 AuditEventKind.PUSH_FAILED,
@@ -192,6 +226,8 @@ class PolicyServer:
             )
             return
         self.pushes_retried += 1
+        if outcome is not None and outcome.policy == policy_name:
+            outcome.attempts += 1
         self.audit.record(
             self.sim.now,
             AuditEventKind.PUSH_RETRIED,
@@ -211,18 +247,26 @@ class PolicyServer:
         inline: bool = False,
         retries: int = 0,
         ack_timeout: Optional[float] = None,
-    ) -> None:
-        """Push every assigned policy."""
+    ) -> PushReport:
+        """Push every assigned policy; returns the round's live report."""
+        report = PushReport()
         for host_name in list(self._assignments):
-            self.push_policy(
-                host_name, inline=inline, retries=retries, ack_timeout=ack_timeout
+            report.add(
+                self.push_policy(
+                    host_name, inline=inline, retries=retries, ack_timeout=ack_timeout
+                )
             )
+        return report
 
     def push_confirmed(self, host_name: str, policy_name: str) -> None:
         """Called by the agent when a networked push is installed."""
         pending = self._awaiting_ack.pop(host_name, None)
         if pending is not None:
             pending.stop()
+        outcome = self._push_state.get(host_name)
+        if outcome is not None and outcome.policy == policy_name:
+            outcome.status = ACKED
+            outcome.acked_at = self.sim.now
         self.pushes_acked += 1
         self.audit.record(
             self.sim.now,
@@ -258,16 +302,34 @@ class PolicyServer:
     # Agent liveness (heartbeats)
     # ------------------------------------------------------------------
 
-    def enable_heartbeat_monitor(self, check_interval: float = 1.0, grace: float = 2.5) -> None:
+    def enable_heartbeat_monitor(
+        self,
+        check_interval: float = 1.0,
+        grace: float = 2.5,
+        recovery_beats: int = 2,
+    ) -> None:
         """Listen for agent heartbeats and audit hosts that fall silent.
 
         A wedged EFW cannot transmit (its processor is the egress path),
         so its heartbeats stop — the central server notices the lockup
         the paper's operators had to discover by hand.
+
+        Silence is tracked as an *episode*: a host transitions to silent
+        when its last heartbeat falls outside ``grace`` (audited once as
+        ``HEARTBEAT_MISSED``), and back to healthy only after
+        ``recovery_beats`` heartbeats have arrived since the episode
+        began *and* the latest one is inside the grace window (audited as
+        ``HEARTBEAT_RESTORED``).  Requiring more than one beat keeps a
+        single stale datagram — e.g. one beacon that was queued behind a
+        wedge and drains on restart — from flapping the host healthy and
+        re-firing ``HEARTBEAT_MISSED`` for the same outage.
         """
         if self._heartbeat_socket is not None:
             raise RuntimeError("heartbeat monitor already enabled")
+        if recovery_beats < 1:
+            raise ValueError(f"recovery_beats must be >= 1, got {recovery_beats}")
         self._heartbeat_grace = grace
+        self._recovery_beats = recovery_beats
         self._heartbeat_socket = self.host.udp.bind(
             HEARTBEAT_PORT, self._heartbeat_received
         )
@@ -283,22 +345,70 @@ class PolicyServer:
         """True if the host's agent missed its heartbeat window."""
         return self._silent.get(host_name, False)
 
+    def restart_agent(self, host_name: str, repush: bool = True) -> None:
+        """Restart a host's NIC agent (the EFW lockup recovery), audited.
+
+        A restart wipes the card's installed rule-set (the paper's
+        recovery restores *functionality*, not policy), so by default the
+        server immediately re-pushes the host's assigned policy —
+        leaving it unprotected is almost never what an operator wants.
+
+        Also resets the host's heartbeat bookkeeping: the restart is an
+        explicit liveness assertion, so the monitor should neither fire a
+        spurious ``HEARTBEAT_MISSED`` for beacons lost during the wedge
+        nor demand a full recovery streak before clearing the episode —
+        if the card is genuinely back, the next in-grace check restores
+        it; if it wedges again, silence re-fires normally.
+        """
+        agent = self._agents.get(host_name)
+        if agent is None:
+            raise KeyError(f"host {host_name!r} has no registered agent")
+        agent.restart()
+        self.audit.record(self.sim.now, AuditEventKind.AGENT_RESTARTED, host_name)
+        if self._heartbeat_socket is not None:
+            self._last_heartbeat[host_name] = self.sim.now
+            if self._silent.get(host_name, False):
+                self._beats_in_silence[host_name] = self._recovery_beats
+        if repush and host_name in self._assignments:
+            self.push_policy(host_name, inline=True)
+
     def _heartbeat_received(self, src_ip, src_port, size, data) -> None:
         host_name = data.decode("ascii", errors="replace")
         self._last_heartbeat[host_name] = self.sim.now
-        self._silent[host_name] = False
+        if self._silent.get(host_name, False):
+            self._beats_in_silence[host_name] = (
+                self._beats_in_silence.get(host_name, 0) + 1
+            )
 
     def _check_heartbeats(self) -> None:
+        # The periodic check owns both transitions; the receive path only
+        # records evidence.  That makes "exactly one MISSED per episode"
+        # a structural property rather than a timing accident.
+        now = self.sim.now
+        grace = self._heartbeat_grace
         for host_name, last_seen in self._last_heartbeat.items():
-            silent = (self.sim.now - last_seen) > self._heartbeat_grace
-            if silent and not self._silent.get(host_name, False):
+            stale = (now - last_seen) > grace
+            if not self._silent.get(host_name, False):
+                if stale:
+                    self._silent[host_name] = True
+                    self._beats_in_silence[host_name] = 0
+                    self.audit.record(
+                        now,
+                        AuditEventKind.HEARTBEAT_MISSED,
+                        host_name,
+                        last_seen=round(last_seen, 6),
+                    )
+            elif not stale and (
+                self._beats_in_silence.get(host_name, 0) >= self._recovery_beats
+            ):
+                self._silent[host_name] = False
+                self._beats_in_silence[host_name] = 0
                 self.audit.record(
-                    self.sim.now,
-                    AuditEventKind.HEARTBEAT_MISSED,
+                    now,
+                    AuditEventKind.HEARTBEAT_RESTORED,
                     host_name,
                     last_seen=round(last_seen, 6),
                 )
-            self._silent[host_name] = silent
 
 
 class NicAgent:

@@ -72,6 +72,98 @@ class TestHeartbeats:
         assert bed.policy_server.agent_is_silent("target")
 
 
+class TestHeartbeatEpisodes:
+    """Episode semantics: exactly one MISSED/RESTORED pair per outage."""
+
+    def test_blip_inside_grace_window_fires_nothing(self):
+        # Beacons pause but resume before the grace window expires: the
+        # monitor must stay quiet (no MISSED, and therefore nothing to
+        # restore).
+        bed = heartbeat_testbed()
+        bed.install_target_policy(allow_all())
+        bed.run(2.0)
+        bed.agents["target"].stop_heartbeat()
+        bed.run(0.8)  # well inside the 1.5 s grace
+        bed.agents["target"].start_heartbeat(bed.policy_server.host.ip, interval=0.5)
+        bed.run(3.0)
+        audit = bed.policy_server.audit
+        assert audit.events(kind=AuditEventKind.HEARTBEAT_MISSED) == []
+        assert audit.events(kind=AuditEventKind.HEARTBEAT_RESTORED) == []
+        assert not bed.policy_server.agent_is_silent("target")
+
+    def test_single_stale_beat_does_not_flap_the_episode(self):
+        # One beacon draining out of a queue mid-outage must neither
+        # clear the silence (recovery takes recovery_beats consecutive
+        # beats) nor re-fire MISSED when the host goes stale again.
+        bed = heartbeat_testbed()
+        server = bed.policy_server
+        bed.install_target_policy(allow_all())
+        bed.agents["target"].stop_heartbeat()
+        bed.run(3.0)
+        assert server.agent_is_silent("target")
+        server._heartbeat_received(bed.target.ip, 0, 16, b"target")
+        bed.run(3.0)
+        assert server.agent_is_silent("target")
+        audit = server.audit
+        assert len(audit.events(kind=AuditEventKind.HEARTBEAT_MISSED)) == 1
+        assert audit.events(kind=AuditEventKind.HEARTBEAT_RESTORED) == []
+
+    def test_recovery_is_audited_once(self):
+        bed = heartbeat_testbed()
+        bed.install_target_policy(deny_all())
+        flood = FloodGenerator(bed.attacker, FloodSpec(kind=FloodKind.UDP, dst_port=9))
+        flood.start(bed.target.ip, rate_pps=2000, duration=1.0)
+        bed.run(4.0)
+        assert bed.policy_server.agent_is_silent("target")
+        bed.restart_target_agent()
+        bed.run(3.0)
+        audit = bed.policy_server.audit
+        assert not bed.policy_server.agent_is_silent("target")
+        assert len(audit.events(kind=AuditEventKind.HEARTBEAT_MISSED)) == 1
+        restored = audit.events(kind=AuditEventKind.HEARTBEAT_RESTORED)
+        assert len(restored) == 1
+        assert restored[0].subject == "target"
+
+    def test_server_restart_repushes_policy_and_primes_recovery(self):
+        # PolicyServer.restart_agent restores *protection*, not just
+        # functionality: the NIC restart wipes the installed rule-set and
+        # the server immediately re-pushes the assignment.  The restart
+        # also counts as a liveness assertion, so the episode clears on
+        # the next in-grace check instead of waiting out a beat streak.
+        bed = heartbeat_testbed()
+        server = bed.policy_server
+        bed.install_target_policy(deny_all())
+        flood = FloodGenerator(bed.attacker, FloodSpec(kind=FloodKind.UDP, dst_port=9))
+        flood.start(bed.target.ip, rate_pps=2000, duration=1.0)
+        bed.run(4.0)
+        assert bed.target.nic.wedged
+        assert server.agent_is_silent("target")
+        server.restart_agent("target")
+        assert not bed.target.nic.wedged
+        assert bed.target.nic.policy is not None
+        bed.run(1.0)
+        assert not server.agent_is_silent("target")
+        assert len(server.audit.events(kind=AuditEventKind.HEARTBEAT_RESTORED)) == 1
+
+    def test_each_outage_is_its_own_episode(self):
+        # Wedge, recover, wedge again: two episodes, two MISSED events.
+        bed = heartbeat_testbed()
+        server = bed.policy_server
+        bed.install_target_policy(deny_all())
+        for _ in range(2):
+            flood = FloodGenerator(
+                bed.attacker, FloodSpec(kind=FloodKind.UDP, dst_port=9)
+            )
+            flood.start(bed.target.ip, rate_pps=2000, duration=1.0)
+            bed.run(4.0)
+            assert server.agent_is_silent("target")
+            server.restart_agent("target")
+            bed.run(3.0)
+            assert not server.agent_is_silent("target")
+        assert len(server.audit.events(kind=AuditEventKind.HEARTBEAT_MISSED)) == 2
+        assert len(server.audit.events(kind=AuditEventKind.HEARTBEAT_RESTORED)) == 2
+
+
 class TestControlChannel:
     def test_policy_updates_survive_deny_all(self):
         # The management plane is reserved: even a deny-all policy must
