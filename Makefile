@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-all test-deprecations bench bench-quick bench-equivalence bench-trace bench-mitigation bench-mitigation-smoke experiments experiments-quick examples clean
+.PHONY: install test test-slow test-all test-deprecations bench bench-quick bench-equivalence bench-trace bench-profile bench-mitigation bench-mitigation-smoke experiments experiments-quick examples timings clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -44,6 +44,14 @@ bench-equivalence:
 bench-trace:
 	$(PYTHON) benchmarks/parallel_bench.py fig2 --trace-overhead-only --fail-overhead-above 3
 
+# Wall-clock profiler overhead on the fig2 quick preset: profiler absent
+# vs fully on (stack collection included), identical tables required;
+# merged into BENCH_parallel.json.  Fails when the *absent* profiler
+# costs >3% over the recorded pre-profiler baseline or the fully-on
+# profiler costs >35% over the absent run (CI runs this).
+bench-profile:
+	$(PYTHON) benchmarks/parallel_bench.py fig2 --profile-overhead-only --fail-profile-off-above 3 --fail-profile-on-above 35
+
 # Fleet-scale kernel benchmark: 4/32/128/256-host flood scenarios on the
 # multi-switch fabric, current vs embedded pre-PR kernel/switch, plus the
 # gated (>=3x at >=128 hosts) timer-dispatch leg -> BENCH_parallel.json.
@@ -75,6 +83,13 @@ examples:
 		$(PYTHON) $$script || exit 1; \
 		echo; \
 	done
+
+# Regenerate the committed full-preset reference artefacts: the tables
+# (experiments_output.txt) and the per-experiment serial timing log
+# (experiments_timing.txt).  Serial so the recorded timings are
+# comparable across revisions; expect tens of minutes.
+timings:
+	$(PYTHON) -m repro.experiments all --jobs 1 --no-progress > experiments_output.txt 2> experiments_timing.txt
 
 clean:
 	rm -rf src/repro.egg-info .pytest_cache .hypothesis

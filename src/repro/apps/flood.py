@@ -85,6 +85,8 @@ class FloodGenerator:
     mutually exclusive by construction).
     """
 
+    profile_category = "app.flood"
+
     def __init__(
         self,
         host: Host,

@@ -89,6 +89,8 @@ class HttpLoadResult:
 class HttpLoadSession:
     """One running http_load measurement (single connection at a time)."""
 
+    profile_category = "app.http_load"
+
     def __init__(
         self,
         host: Host,
@@ -189,6 +191,8 @@ class HttpLoadSession:
 
 class HttpLoadClient:
     """Factory for http_load sessions from a client host."""
+
+    profile_category = "app.http_load"
 
     def __init__(self, host: Host):
         self.host = host

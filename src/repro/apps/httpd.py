@@ -27,6 +27,8 @@ DEFAULT_PORT = 80
 class HttpServer:
     """A minimal threaded-Apache stand-in."""
 
+    profile_category = "app.httpd"
+
     def __init__(
         self,
         host: Host,

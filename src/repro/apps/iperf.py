@@ -61,6 +61,8 @@ class IperfResult:
 class IperfServer:
     """The iperf server: sinks TCP streams and counts UDP datagrams."""
 
+    profile_category = "app.iperf"
+
     def __init__(self, host: Host, port: int = DEFAULT_PORT):
         self.host = host
         self.port = port
@@ -108,6 +110,8 @@ class IperfServer:
 
 class TcpIperfSession:
     """One TCP bandwidth measurement in flight."""
+
+    profile_category = "app.iperf"
 
     def __init__(self, client_host: Host, server_ip: Ipv4Address, port: int, duration: float):
         self.sim = client_host.sim
@@ -165,6 +169,8 @@ class TcpIperfSession:
 class UdpIperfSession:
     """One UDP bandwidth measurement in flight."""
 
+    profile_category = "app.iperf"
+
     def __init__(
         self,
         client_host: Host,
@@ -216,6 +222,8 @@ class UdpIperfSession:
 
 class IperfClient:
     """Factory for measurement sessions from a client host."""
+
+    profile_category = "app.iperf"
 
     def __init__(self, host: Host):
         self.host = host

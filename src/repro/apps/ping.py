@@ -59,6 +59,8 @@ class PingResult:
 class PingSession:
     """A running echo stream toward one target."""
 
+    profile_category = "app.ping"
+
     def __init__(
         self,
         host: Host,

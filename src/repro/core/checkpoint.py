@@ -10,11 +10,11 @@ Each record holds::
 
     {"schema_version": 1, "key": "<sha256>", "index": N, "label": "...",
      "result": <serialized>, "metrics": <serialized>|null,
-     "trace": <serialized>|null}
+     "trace": <serialized>|null, "profile": <serialized>|null}
 
 ``key`` identifies the point by everything that determines its outcome:
 the spec's label, its function's qualified name, its kwargs (which carry
-the deterministic seed), and the active metrics/trace collection
+the deterministic seed), and the active metrics/trace/profile collection
 configuration.  Payloads go through the versioned
 :mod:`repro.experiments.results` envelope, whose round-trip contract
 (``serialize(deserialize(s)) == s``) is what makes a resumed run's
@@ -95,7 +95,12 @@ class SweepCheckpoint:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def spec_key(spec, metrics_interval: Optional[float], trace_config) -> str:
+    def spec_key(
+        spec,
+        metrics_interval: Optional[float],
+        trace_config,
+        profile_config=None,
+    ) -> str:
         """Stable identity of one sweep point under one collection config."""
         serialize = _results().serialize
         fn = spec.fn
@@ -107,6 +112,10 @@ class SweepCheckpoint:
             "metrics_interval": metrics_interval,
             "trace": serialize(trace_config),
         }
+        # Only part of the identity when profiling is on, so checkpoints
+        # written before the profiler existed keep matching their specs.
+        if profile_config is not None:
+            identity["profile"] = serialize(profile_config)
         blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -114,8 +123,10 @@ class SweepCheckpoint:
     # Read / write
     # ------------------------------------------------------------------
 
-    def lookup(self, key: str) -> Optional[Tuple[Any, Optional[list], Optional[list]]]:
-        """The restored ``(value, metric_snaps, trace_snaps)``, or None."""
+    def lookup(
+        self, key: str
+    ) -> Optional[Tuple[Any, Optional[list], Optional[list], Optional[list]]]:
+        """The restored ``(value, metric_snaps, trace_snaps, profile_snaps)``, or None."""
         record = self._records.get(key)
         if record is None:
             return None
@@ -123,10 +134,12 @@ class SweepCheckpoint:
         value = deserialize(record["result"])
         metrics = record.get("metrics")
         trace = record.get("trace")
+        profile = record.get("profile")
         return (
             value,
             deserialize(metrics) if metrics is not None else None,
             deserialize(trace) if trace is not None else None,
+            deserialize(profile) if profile is not None else None,
         )
 
     def record(
@@ -137,6 +150,7 @@ class SweepCheckpoint:
         value: Any,
         metric_snaps: Optional[list],
         trace_snaps: Optional[list],
+        profile_snaps: Optional[list] = None,
     ) -> None:
         """Append one completed point and flush it to disk."""
         serialize = _results().serialize
@@ -148,6 +162,7 @@ class SweepCheckpoint:
             "result": serialize(value),
             "metrics": serialize(metric_snaps) if metric_snaps is not None else None,
             "trace": serialize(trace_snaps) if trace_snaps is not None else None,
+            "profile": serialize(profile_snaps) if profile_snaps is not None else None,
         }
         self._records[key] = record
         self._stream.write(json.dumps(record, sort_keys=True, separators=(",", ":")))

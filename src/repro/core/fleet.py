@@ -44,6 +44,7 @@ from repro.nic.standard import StandardNic
 from repro.defense.controller import DefenseConfig, MitigationController
 from repro.defense.detector import FloodDetector
 from repro.obs import collect as obs_collect
+from repro.obs.profiling import collect as profile_collect
 from repro.obs.tracing import collect as trace_collect
 from repro.policy.push import PushReport
 from repro.policy.server import NicAgent, PolicyServer
@@ -156,6 +157,9 @@ class FleetTestbed:
         self.sim = Simulator()
         obs_collect.attach_simulator(self.sim)
         trace_collect.attach_simulator(self.sim)
+        profiler = profile_collect.attach_simulator(self.sim)
+        if profiler is not None:
+            profiler.enter("testbed.build")
         self.rng = RngRegistry(seed)
         leaf_count = max(1, -(-spec.station_count // spec.stations_per_leaf))
         spine_count = max(1, -(-leaf_count // spec.leaves_per_spine))
@@ -224,6 +228,8 @@ class FleetTestbed:
         self.push_report: Optional[PushReport] = None
         #: The MitigationController once :meth:`enable_defense` runs.
         self.defense: Optional[MitigationController] = None
+        if profiler is not None:
+            profiler.exit()
 
     def _build_nic(self, station: str):
         kind = self.spec.device if station.startswith("t") else DeviceKind.STANDARD

@@ -62,6 +62,7 @@ from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequenc
 
 from repro.core.checkpoint import SweepCheckpoint
 from repro.obs import collect as obs_collect
+from repro.obs.profiling import collect as profile_collect
 from repro.obs.tracing import collect as trace_collect
 from repro.obs.tracing.collect import TraceSnapshot
 from repro.obs.tracing.watchdog import Incident
@@ -179,6 +180,7 @@ class CompletedPoint:
     value: Any
     metrics: Optional[list] = None
     trace: Optional[list] = None
+    profile: Optional[list] = None
 
 
 @dataclass
@@ -227,23 +229,28 @@ def _call_spec(spec: SweepPointSpec) -> Any:
 
 
 def _call_spec_collecting(
-    payload: Tuple[SweepPointSpec, Optional[float], Optional[Any]]
-) -> Tuple[Any, Optional[list], Optional[list]]:
-    """Run one spec with metrics and/or trace collection active here.
+    payload: Tuple[SweepPointSpec, Optional[float], Optional[Any], Optional[Any]]
+) -> Tuple[Any, Optional[list], Optional[list], Optional[list]]:
+    """Run one spec with metrics/trace/profile collection active here.
 
     Used for *both* the serial and the pooled path, so a point's
     snapshots are identical whatever ``jobs`` is; they travel back to the
     parent alongside the point's result (snapshots are plain dataclasses,
     hence picklable).  ``payload`` is ``(spec, metrics_interval_or_None,
-    trace_config_or_None)``; the matching snapshot slot is None for a
-    collection that was not requested.
+    trace_config_or_None, profile_config_or_None)``; the matching
+    snapshot slot is None for a collection that was not requested.
+
+    Profiling activates first and deactivates last, so the profile's
+    wall-clock denominator covers the whole point.
     """
-    spec, interval, trace_config = payload
+    spec, interval, trace_config, profile_config = payload
+    if profile_config is not None:
+        profile_collect.activate(profile_config)
     if interval is not None:
         obs_collect.activate(interval)
     if trace_config is not None:
         trace_collect.activate(trace_config)
-    metric_snapshots = trace_snapshots = None
+    metric_snapshots = trace_snapshots = profile_snapshots = None
     try:
         value = spec.fn(**spec.kwargs)
     finally:
@@ -251,7 +258,9 @@ def _call_spec_collecting(
             trace_snapshots = trace_collect.deactivate()
         if interval is not None:
             metric_snapshots = obs_collect.deactivate()
-    return value, metric_snapshots, trace_snapshots
+        if profile_config is not None:
+            profile_snapshots = profile_collect.deactivate()
+    return value, metric_snapshots, trace_snapshots, profile_snapshots
 
 
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
@@ -351,7 +360,8 @@ class _RunState:
         self.specs = specs
         self.keys: Optional[List[str]] = None
         #: Per-spec outcome: None = unresolved, (value, metric_snaps,
-        #: trace_snaps) = completed, PointFailure = exhausted retries.
+        #: trace_snaps, profile_snaps) = completed, PointFailure =
+        #: exhausted retries.
         self.slots: List[Any] = [None] * len(specs)
         self.attempts = [0] * len(specs)
         self.pending: Deque[int] = deque()
@@ -389,6 +399,16 @@ class SweepExecutor:
         spec order — again identical for any ``jobs`` value.  Points
         that exhaust their retries deposit a synthetic snapshot carrying
         a ``sweep-point-failure`` :class:`~repro.obs.tracing.watchdog.Incident`.
+    profile:
+        Optional :class:`~repro.obs.profiling.collect.ProfileCollector`.
+        When given, each point runs with the wall-clock profiler active
+        per the collector's
+        :class:`~repro.obs.profiling.collect.ProfileConfig`, and its
+        profile snapshot (per-component hotspots, call-path self times,
+        measured wall clock) is deposited in spec order — the collection
+        structure is identical for any ``jobs`` value (the measured
+        times themselves naturally vary run to run).  Failed points
+        deposit an empty profile point to stay 1:1 with the specs.
     retries:
         Re-runs granted to a failed or timed-out point (with its
         identical deterministic spec) before it counts as failed.
@@ -424,6 +444,7 @@ class SweepExecutor:
         progress: Optional[Callable[[str], None]] = None,
         metrics=None,
         trace=None,
+        profile=None,
         *,
         retries: int = 0,
         point_timeout: Optional[float] = None,
@@ -434,6 +455,7 @@ class SweepExecutor:
         self.progress = progress
         self.metrics = metrics
         self.trace = trace
+        self.profile = profile
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.retries = int(retries)
@@ -453,23 +475,34 @@ class SweepExecutor:
         self.failures: List[PointFailure] = []
 
     def _collecting(self) -> bool:
-        return self.metrics is not None or self.trace is not None
+        return (
+            self.metrics is not None
+            or self.trace is not None
+            or self.profile is not None
+        )
 
     def _payload(self, spec: SweepPointSpec):
         interval = self.metrics.interval if self.metrics is not None else None
         config = self.trace.config if self.trace is not None else None
-        return (spec, interval, config)
+        profile_config = self.profile.config if self.profile is not None else None
+        return (spec, interval, config, profile_config)
 
-    def _deposit(self, label: str, metric_snapshots, trace_snapshots) -> None:
+    def _deposit(
+        self, label: str, metric_snapshots, trace_snapshots, profile_snapshots
+    ) -> None:
         if self.metrics is not None:
             self.metrics.add_point(label, metric_snapshots or [])
         if self.trace is not None:
             self.trace.add_point(label, trace_snapshots or [])
+        if self.profile is not None:
+            self.profile.add_point(label, profile_snapshots or [])
 
     def _deposit_failure(self, spec: SweepPointSpec, failure: PointFailure) -> None:
         """Keep collectors aligned 1:1 with specs when a point fails."""
         if self.metrics is not None:
             self.metrics.add_point(spec.label, [])
+        if self.profile is not None:
+            self.profile.add_point(spec.label, [])
         if self.trace is not None:
             incident = Incident(
                 kind="sweep-point-failure",
@@ -515,8 +548,11 @@ class SweepExecutor:
         if self.checkpoint is not None:
             interval = self.metrics.interval if self.metrics is not None else None
             config = self.trace.config if self.trace is not None else None
+            profile_config = (
+                self.profile.config if self.profile is not None else None
+            )
             state.keys = [
-                self.checkpoint.spec_key(spec, interval, config)
+                self.checkpoint.spec_key(spec, interval, config, profile_config)
                 for spec in state.specs
             ]
         for index, spec in enumerate(state.specs):
@@ -538,8 +574,8 @@ class SweepExecutor:
     # ------------------------------------------------------------------
 
     def _complete(self, index: int, outcome, state: _RunState) -> None:
-        value, metric_snaps, trace_snaps = outcome
-        state.slots[index] = (value, metric_snaps, trace_snaps)
+        value, metric_snaps, trace_snaps, profile_snaps = outcome
+        state.slots[index] = (value, metric_snaps, trace_snaps, profile_snaps)
         if self.checkpoint is not None and state.keys is not None:
             self.checkpoint.record(
                 state.keys[index],
@@ -548,6 +584,7 @@ class SweepExecutor:
                 value,
                 metric_snaps,
                 trace_snaps,
+                profile_snaps,
             )
         self._release_announcements(state)
 
@@ -609,12 +646,13 @@ class SweepExecutor:
                     value=slot[0],
                     metrics=slot[1],
                     trace=slot[2],
+                    profile=slot[3],
                 )
                 for index, slot in enumerate(state.slots)
                 if slot is not None and not isinstance(slot, PointFailure)
             ]
             for point in completed:
-                self._deposit(point.label, point.metrics, point.trace)
+                self._deposit(point.label, point.metrics, point.trace, point.profile)
             self._export_stats()
             raise SweepError(state.abort, state.failures, completed)
         results: List[Any] = []
@@ -624,9 +662,11 @@ class SweepExecutor:
                 self._deposit_failure(spec, slot)
                 results.append(slot)
             else:
-                value, metric_snaps, trace_snaps = slot
+                value, metric_snaps, trace_snaps, profile_snaps = slot
                 if self._collecting():
-                    self._deposit(spec.label, metric_snaps, trace_snaps)
+                    self._deposit(
+                        spec.label, metric_snaps, trace_snaps, profile_snaps
+                    )
                 results.append(value)
         self.failures = list(state.failures)
         self._export_stats()
@@ -676,7 +716,7 @@ class SweepExecutor:
                 if self._collecting():
                     outcome = _call_spec_collecting(self._payload(spec))
                 else:
-                    outcome = (_call_spec(spec), None, None)
+                    outcome = (_call_spec(spec), None, None, None)
             except Exception as exc:
                 self._attempt_failed(
                     index,

@@ -10,8 +10,8 @@ Grids whose callable is picklable can be evaluated by a process pool
 (``jobs > 1``); point order, recorded parameters and results are
 identical to a serial run (see :mod:`repro.core.parallel`).  The
 executor's fault-tolerance knobs — ``retries``, ``point_timeout``,
-``checkpoint``, ``on_failure`` — and its ``metrics``/``trace``
-collectors pass straight through.
+``checkpoint``, ``on_failure`` — and its ``metrics``/``trace``/
+``profile`` collectors pass straight through.
 """
 
 from __future__ import annotations
@@ -50,8 +50,8 @@ class Sweep:
 
     Each :meth:`run` call replaces :attr:`points` with the new grid's
     records (a reused ``Sweep`` never mixes grids in :meth:`series`).
-    ``metrics``/``trace`` collectors and the fault-tolerance knobs
-    (``retries``, ``point_timeout``, ``checkpoint``, ``on_failure``)
+    ``metrics``/``trace``/``profile`` collectors and the fault-tolerance
+    knobs (``retries``, ``point_timeout``, ``checkpoint``, ``on_failure``)
     forward to the :class:`~repro.core.parallel.SweepExecutor`.
 
     Examples
@@ -68,6 +68,7 @@ class Sweep:
     jobs: Optional[int] = 1
     metrics: Any = None
     trace: Any = None
+    profile: Any = None
     retries: int = 0
     point_timeout: Optional[float] = None
     checkpoint: Union[SweepCheckpoint, str, None] = None
@@ -91,6 +92,7 @@ class Sweep:
             progress=self.progress,
             metrics=self.metrics,
             trace=self.trace,
+            profile=self.profile,
             retries=self.retries,
             point_timeout=self.point_timeout,
             checkpoint=self.checkpoint,

@@ -28,6 +28,7 @@ from repro.host.host import Host
 from repro.net.addresses import Ipv4Address, MacAddress
 from repro.net.topology import StarTopology
 from repro.obs import collect as obs_collect
+from repro.obs.profiling import collect as profile_collect
 from repro.obs.tracing import collect as trace_collect
 from repro.nic.adf import AdfNic
 from repro.nic.efw import EfwNic
@@ -106,6 +107,14 @@ class Testbed:
         # this kernel's tracer (spans, flight recorder, watchdog) per the
         # active TraceConfig before any packets flow.
         trace_collect.attach_simulator(self.sim)
+        # And for wall-clock profiling: when a profile collection is
+        # active, the kernel's dispatch loop buckets host-CPU time by
+        # component category (see repro.obs.profiling).  Construction
+        # itself is billed to a "testbed.build" scope (a raising __init__
+        # aborts the point; the snapshot unwinds any dangling scope).
+        profiler = profile_collect.attach_simulator(self.sim)
+        if profiler is not None:
+            profiler.enter("testbed.build")
         self.rng = RngRegistry(seed)
         self.topology = StarTopology(self.sim, bandwidth_bps=bandwidth_bps)
         self.hosts: Dict[str, Host] = {}
@@ -140,6 +149,8 @@ class Testbed:
                 agent = NicAgent(host, host.nic)
                 self.agents[station] = agent
                 self.policy_server.register_agent(agent)
+        if profiler is not None:
+            profiler.exit()
 
     # ------------------------------------------------------------------
     # Convenience accessors

@@ -105,6 +105,8 @@ class MitigationController:
         ``quarantine_station`` here).
     """
 
+    profile_category = "defense.controller"
+
     def __init__(
         self,
         sim,

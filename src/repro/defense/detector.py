@@ -137,6 +137,8 @@ class FloodDetector:
         onset and clearance (the mitigation controller hooks these).
     """
 
+    profile_category = "defense.detector"
+
     def __init__(
         self,
         sim,

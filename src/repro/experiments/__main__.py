@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR] [--metrics DIR] [--trace DIR] [--trace-sample K] [--flight-recorder] [--no-compiled-matcher] [--checkpoint DIR] [--resume] [--retries N] [--point-timeout S] [--keep-going]``."""
+"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR] [--metrics DIR] [--trace DIR] [--trace-sample K] [--flight-recorder] [--profile DIR] [--profile-top N] [--no-compiled-matcher] [--checkpoint DIR] [--resume] [--retries N] [--point-timeout S] [--keep-going]``."""
 
 from __future__ import annotations
 
@@ -13,6 +13,12 @@ from repro.firewall.compiled import set_compiled_enabled
 from repro.experiments.figures import plot_result
 from repro.experiments.results import write_json
 from repro.obs import MetricsCollector, write_metrics_csv
+from repro.obs.profiling import (
+    ProfileCollector,
+    ProfileConfig,
+    hotspot_table,
+    write_collapsed,
+)
 from repro.obs.tracing import (
     TraceCollector,
     TraceConfig,
@@ -108,6 +114,25 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help=(
+            "profile the host-CPU wall-clock cost of every sweep point, "
+            "print a per-component hotspot table to stderr, and write "
+            "DIR/<id>_profile.json (versioned envelope) plus "
+            "DIR/<id>_profile.collapsed (collapsed stacks: load in "
+            "flamegraph.pl or speedscope); simulated results are unaffected"
+        ),
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="rows in the --profile hotspot table (default 25)",
+    )
+    parser.add_argument(
         "--checkpoint",
         metavar="DIR",
         default=None,
@@ -184,6 +209,8 @@ def main(argv=None) -> int:
         parser.error("--retries must be >= 0")
     if args.point_timeout is not None and args.point_timeout <= 0:
         parser.error("--point-timeout must be > 0 seconds")
+    if args.profile_top < 1:
+        parser.error("--profile-top must be >= 1")
 
     selected = args.ids
     if "all" in selected:
@@ -194,6 +221,8 @@ def main(argv=None) -> int:
         os.makedirs(args.metrics, exist_ok=True)
     if args.trace is not None:
         os.makedirs(args.trace, exist_ok=True)
+    if args.profile is not None:
+        os.makedirs(args.profile, exist_ok=True)
     if args.checkpoint is not None:
         os.makedirs(args.checkpoint, exist_ok=True)
     tracing = args.trace is not None or args.flight_recorder
@@ -214,6 +243,11 @@ def main(argv=None) -> int:
         print(f"== {experiment_id} (jobs={jobs}) ==", file=sys.stderr)
         collector = MetricsCollector() if args.metrics is not None else None
         tracer = TraceCollector(trace_config) if trace_config is not None else None
+        profiler = (
+            ProfileCollector(ProfileConfig(top=args.profile_top))
+            if args.profile is not None
+            else None
+        )
         checkpoint = None
         if args.checkpoint is not None:
             checkpoint = SweepCheckpoint(
@@ -226,6 +260,7 @@ def main(argv=None) -> int:
             jobs=jobs,
             metrics=collector,
             trace=tracer,
+            profile=profiler,
             checkpoint=checkpoint,
             retries=args.retries,
             point_timeout=args.point_timeout,
@@ -297,6 +332,16 @@ def main(argv=None) -> int:
                     f"(wrote {chrome_path}, {jsonl_path} and {summary_path})",
                     file=sys.stderr,
                 )
+        if profiler is not None:
+            profile = profiler.experiment(experiment_id)
+            json_path = os.path.join(args.profile, f"{experiment_id}_profile.json")
+            collapsed_path = os.path.join(
+                args.profile, f"{experiment_id}_profile.collapsed"
+            )
+            write_json(profile, json_path)
+            write_collapsed(profile, collapsed_path)
+            print(hotspot_table(profile, top=args.profile_top), file=sys.stderr)
+            print(f"(wrote {json_path} and {collapsed_path})", file=sys.stderr)
         print(f"({experiment_id} took {elapsed:.1f}s)\n", file=sys.stderr)
     return exit_code
 

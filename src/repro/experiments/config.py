@@ -47,6 +47,11 @@ class RunConfig:
         Optional :class:`~repro.obs.collect.MetricsCollector`.
     trace:
         Optional :class:`~repro.obs.tracing.collect.TraceCollector`.
+    profile:
+        Optional :class:`~repro.obs.profiling.collect.ProfileCollector`.
+        Each sweep point then runs with the wall-clock profiler active
+        and deposits its per-component hotspot snapshot into the
+        collector, in spec order for any ``jobs`` value.
     checkpoint:
         A :class:`~repro.core.checkpoint.SweepCheckpoint` or a path
         (opened in resume mode).
@@ -63,6 +68,7 @@ class RunConfig:
     jobs: Optional[int] = None
     metrics: Any = None
     trace: Any = None
+    profile: Any = None
     checkpoint: Any = None
     retries: int = 0
     point_timeout: Optional[float] = None
@@ -83,6 +89,7 @@ class RunConfig:
             progress=self.progress,
             metrics=self.metrics,
             trace=self.trace,
+            profile=self.profile,
             checkpoint=self.checkpoint,
             retries=self.retries,
             point_timeout=self.point_timeout,

@@ -124,6 +124,7 @@ def _build_type_registry() -> Dict[str, Type]:
         table1_http,
     )
     from repro.obs import collect, sampler
+    from repro.obs.profiling import collect as profile_collect
     from repro.policy import push as policy_push
     from repro.obs.tracing import collect as trace_collect
     from repro.obs.tracing import tracer as trace_tracer
@@ -149,6 +150,7 @@ def _build_type_registry() -> Dict[str, Type]:
         defense_controller,
         sampler,
         collect,
+        profile_collect,
         trace_collect,
         trace_tracer,
         trace_watchdog,

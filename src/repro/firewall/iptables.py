@@ -42,6 +42,8 @@ class IptablesFilter:
         Softirq backlog bound, in packets.
     """
 
+    profile_category = "firewall.iptables"
+
     def __init__(
         self,
         sim: Simulator,
@@ -63,6 +65,7 @@ class IptablesFilter:
             capacity=backlog,
             service_time=self._service_time,
             on_complete=self._completed,
+            profile_category=f"{self.profile_category}.proc",
         )
         # Counters
         self.accepted_in = 0

@@ -33,6 +33,7 @@ from typing import Iterable, Iterator, List, Optional
 from repro.firewall.compiled import ClassifierStats, CompiledClassifier, compiled_enabled
 from repro.firewall.rules import Action, Direction, Rule, VpgRule
 from repro.net.packet import Ipv4Packet
+from repro.obs.profiling import core as _profiling
 
 
 @dataclass(frozen=True)
@@ -262,6 +263,21 @@ class RuleSet:
 
     def evaluate(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
         """First-match evaluation of a plaintext packet."""
+        # Wall-clock profiling scope: rule evaluation runs synchronously
+        # inside whatever event needed the verdict (a NIC service-time
+        # computation, an iptables softirq), so it opens its own scope to
+        # be attributed as "firewall.evaluate" rather than billed to the
+        # caller.  Off costs one module-global read and one branch.
+        profiler = _profiling.ACTIVE
+        if profiler is None:
+            return self._evaluate(packet, direction)
+        profiler.enter("firewall.evaluate")
+        try:
+            return self._evaluate(packet, direction)
+        finally:
+            profiler.exit()
+
+    def _evaluate(self, packet: Ipv4Packet, direction: Direction) -> MatchResult:
         flow = packet.flow()
         cache_key = (flow, direction)
         cache = self._flow_cache
@@ -328,6 +344,16 @@ class RuleSet:
         the paper observed — packets are not decrypted until they reach
         the matching VPG rule.
         """
+        profiler = _profiling.ACTIVE
+        if profiler is None:
+            return self._evaluate_encrypted(spi)
+        profiler.enter("firewall.evaluate")
+        try:
+            return self._evaluate_encrypted(spi)
+        finally:
+            profiler.exit()
+
+    def _evaluate_encrypted(self, spi: int) -> MatchResult:
         cache_key = ("spi", spi)
         cache = self._flow_cache
         cached = cache.pop(cache_key, None)

@@ -39,6 +39,8 @@ DEFAULT_QUEUE_LIMIT = 16
 class ArpLayer:
     """Per-host dynamic ARP resolution."""
 
+    profile_category = "host.arp"
+
     def __init__(
         self,
         host,

@@ -42,6 +42,8 @@ class Host:
         The experiment's RNG registry.
     """
 
+    profile_category = "host"
+
     def __init__(
         self,
         sim: Simulator,

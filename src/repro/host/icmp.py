@@ -32,6 +32,8 @@ EchoReplyHandler = Callable[[Ipv4Address, int, int, int], None]
 class IcmpLayer:
     """Per-host ICMP processing."""
 
+    profile_category = "host.icmp"
+
     def __init__(self, host) -> None:
         self.host = host
         self.sim = host.sim

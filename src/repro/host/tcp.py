@@ -225,6 +225,8 @@ class TcpConnection:
     * ``on_refused(conn)`` -- connect() was refused or timed out.
     """
 
+    profile_category = "host.tcp"
+
     def __init__(
         self,
         manager: "TcpManager",
@@ -798,6 +800,8 @@ class TcpListener:
     no longer exhaust the backlog and lock legitimate clients out.
     """
 
+    profile_category = "host.tcp"
+
     def __init__(
         self,
         manager: "TcpManager",
@@ -826,6 +830,8 @@ class TcpManager:
     """Per-host TCP: demultiplexing, listeners and connection setup."""
 
     EPHEMERAL_BASE = 32768
+
+    profile_category = "host.tcp"
 
     def __init__(self, host) -> None:
         self.host = host

@@ -19,6 +19,8 @@ DatagramHandler = Callable[[Ipv4Address, int, int, bytes], None]
 class UdpSocket:
     """A bound UDP port."""
 
+    profile_category = "host.udp"
+
     def __init__(self, manager: "UdpManager", port: int, handler: Optional[DatagramHandler]):
         self.manager = manager
         self.port = port
@@ -45,6 +47,8 @@ class UdpManager:
     """Per-host UDP: port binding and demultiplexing."""
 
     EPHEMERAL_BASE = 32768
+
+    profile_category = "host.udp"
 
     def __init__(self, host) -> None:
         self.host = host

@@ -38,6 +38,9 @@ class LinkPort:
     are dropped and counted.
     """
 
+    #: Wall-clock profiling bucket for transmit-complete/delivery events.
+    profile_category = "link"
+
     def __init__(self, link: "Link", name: str, queue_capacity: int):
         self.link = link
         self.name = name

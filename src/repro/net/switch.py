@@ -51,6 +51,9 @@ class EthernetSwitch:
         ``None`` disables ageing, which suits short experiments.
     """
 
+    #: Wall-clock profiling bucket for the forwarding events.
+    profile_category = "switch"
+
     def __init__(
         self,
         sim: Simulator,

@@ -18,6 +18,8 @@ from repro.sim.engine import Simulator
 class AdfNic(EmbeddedFirewallNic):
     """The ADF: EFW-derived filtering plus VPG encryption."""
 
+    profile_category = "nic.adf"
+
     def __init__(
         self,
         sim: Simulator,

@@ -20,15 +20,24 @@ from typing import Optional
 from repro.net.addresses import MacAddress
 from repro.net.link import LinkPort
 from repro.net.packet import ArpMessage, EthernetFrame, Ipv4Packet
+from repro.obs.profiling import core as _profiling
 from repro.sim.engine import Simulator
 
 
 class BaseNic:
     """Base class for all NIC models."""
 
+    #: Wall-clock profiling bucket; device models override (see
+    #: :mod:`repro.obs.profiling`).
+    profile_category = "nic"
+
     def __init__(self, sim: Simulator, name: str):
         self.sim = sim
         self.name = name
+        #: Precomputed ingress scope name ("nic.efw.rx", ...): frame
+        #: reception runs synchronously inside the link's delivery event,
+        #: so it opens its own profiling scope to be attributed here.
+        self._profile_rx_scope = f"{self.profile_category}.rx"
         self.host = None
         self.port: Optional[LinkPort] = None
         self._frame_ids = itertools.count(1)
@@ -101,6 +110,16 @@ class BaseNic:
 
     def receive_frame(self, frame: EthernetFrame, port: LinkPort) -> None:
         """Entry point for frames delivered by the link."""
+        profiler = _profiling.ACTIVE
+        if profiler is None:
+            return self._receive_frame(frame, port)
+        profiler.enter(self._profile_rx_scope)
+        try:
+            return self._receive_frame(frame, port)
+        finally:
+            profiler.exit()
+
+    def _receive_frame(self, frame: EthernetFrame, port: LinkPort) -> None:
         self.frames_received += 1
         if not self._frame_is_for_us(frame):
             return

@@ -22,6 +22,8 @@ from repro.sim.engine import Simulator
 class EfwNic(EmbeddedFirewallNic):
     """The commercial EFW: stateless filtering, no VPGs, lockup bug."""
 
+    profile_category = "nic.efw"
+
     def __init__(
         self,
         sim: Simulator,

@@ -76,6 +76,8 @@ class EmbeddedFirewallNic(BaseNic):
         On-card ring bound (frames), shared by the RX and TX paths.
     """
 
+    profile_category = "nic.embedded"
+
     def __init__(
         self,
         sim: Simulator,
@@ -107,6 +109,7 @@ class EmbeddedFirewallNic(BaseNic):
             capacity=ring_size,
             service_time=self._service_time,
             on_complete=self._serviced,
+            profile_category=f"{self.profile_category}.proc",
         )
         # Counters
         self.rx_allowed = 0

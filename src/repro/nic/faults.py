@@ -40,6 +40,8 @@ class DenyFloodLockupFault:
         Set False to run ablations with the bug patched out.
     """
 
+    profile_category = "nic.fault"
+
     def __init__(
         self,
         nic,

@@ -51,6 +51,8 @@ class HardenedNic(EmbeddedFirewallNic):
     """The paper's wished-for device: an embedded firewall that tolerates
     wire-rate packet floods."""
 
+    profile_category = "nic.hardened"
+
     def __init__(
         self,
         sim: Simulator,

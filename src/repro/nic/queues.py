@@ -51,11 +51,16 @@ class ServiceQueue:
         capacity: int,
         service_time: Callable[[Any], float],
         on_complete: Callable[[Any], None],
+        profile_category: str = "queue",
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.name = name
+        #: Wall-clock profiling bucket for this queue's service events;
+        #: owners pass their own ("nic.efw.proc", "firewall.iptables.proc")
+        #: so queue work is attributed to the component it serves.
+        self.profile_category = profile_category
         self.capacity = capacity
         self.service_time = service_time
         self.on_complete = on_complete

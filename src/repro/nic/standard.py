@@ -23,6 +23,8 @@ class StandardNic(BaseNic):
     latency rather than a contended queue.
     """
 
+    profile_category = "nic.standard"
+
     def __init__(
         self,
         sim: Simulator,

@@ -18,7 +18,11 @@ the layer that makes those runs diagnosable while they happen:
   through :mod:`repro.experiments.results`),
 * :mod:`repro.obs.tracing` — causal per-packet lifecycle spans, the
   always-cheap flight recorder, the incident watchdog, and Chrome
-  trace-event / JSONL exporters.
+  trace-event / JSONL exporters,
+* :mod:`repro.obs.profiling` — wall-clock profiling of the simulation's
+  *own* host-CPU cost: per-component hotspot attribution hooked into the
+  kernel's dispatch loop, collapsed-stack flamegraph export, and
+  sweep-level profile aggregation (:class:`ProfileCollector`).
 
 Components self-register against ``sim.metrics`` at construction; with
 the default :data:`NULL_REGISTRY` every registration returns a shared
@@ -43,6 +47,20 @@ from repro.obs.registry import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.profiling import (
+    NULL_PROFILER,
+    ExperimentProfile,
+    PointProfile,
+    ProfileCollector,
+    ProfileConfig,
+    ProfileEntry,
+    ProfileSnapshot,
+    Profiler,
+    StackEntry,
+    collapsed_stacks,
+    hotspot_table,
+    write_collapsed,
+)
 from repro.obs.sampler import MetricSeries, MetricsSnapshot, Sampler
 from repro.obs.tracing import (
     ExperimentTrace,
@@ -64,6 +82,7 @@ __all__ = [
     "Counter",
     "DEFAULT_SAMPLE_INTERVAL",
     "ExperimentMetrics",
+    "ExperimentProfile",
     "ExperimentTrace",
     "FlightRecorder",
     "Gauge",
@@ -73,20 +92,30 @@ __all__ = [
     "MetricsCollector",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "NullRegistry",
     "PacketTracer",
     "PointMetrics",
+    "PointProfile",
+    "ProfileCollector",
+    "ProfileConfig",
+    "ProfileEntry",
+    "ProfileSnapshot",
+    "Profiler",
     "RateEwma",
     "Sampler",
     "SpanRecord",
+    "StackEntry",
     "TraceCollector",
     "TraceConfig",
     "TraceRecord",
     "Watchdog",
     "arm_tracing",
     "chrome_trace",
+    "collapsed_stacks",
     "flatten_rows",
+    "hotspot_table",
     "instrument_simulator",
     "write_chrome_trace",
     "write_metrics_csv",

@@ -1,0 +1,288 @@
+"""Per-sweep-point profile collection, identical for any worker count.
+
+This mirrors :mod:`repro.obs.collect` / :mod:`repro.obs.tracing.collect`
+exactly: sweep points run in (possibly forked) worker processes, so each
+point's profile travels back to the parent with the point's result as a
+picklable :class:`ProfileSnapshot`, deposited into the parent-side
+:class:`ProfileCollector` in spec order — ``jobs=1`` and ``jobs=N``
+produce the same collection structure.
+
+* :class:`ProfileConfig` — the picklable recipe the CLI builds and the
+  executor ships to workers.
+* :class:`ProfileCollector` — parent-side storage the experiment modules
+  accept via ``RunConfig.profile``; one :class:`PointProfile` per point.
+* the process-local *active collection* (:func:`activate` /
+  :func:`deactivate`) — while active, every
+  :class:`~repro.core.testbed.Testbed` built in this process installs
+  the live :class:`~repro.obs.profiling.core.Profiler` onto its kernel
+  (see :func:`attach_simulator`), and the module-level
+  :data:`~repro.obs.profiling.core.ACTIVE` pointer routes synchronous
+  hot paths (rule evaluation) to the same profiler.  :func:`deactivate`
+  snapshots the profiler together with the point's measured wall-clock
+  time, which is what the hotspot report's coverage figure divides by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter_ns
+from typing import List, Optional
+
+from repro.obs.profiling import core as profiling_core
+from repro.obs.profiling.core import NULL_PROFILER, Profiler
+
+
+@dataclass(frozen=True)
+class ProfileConfig:
+    """Picklable profiling recipe applied to every testbed of a point."""
+
+    #: Record per-call-path self-time (the collapsed-stack/flamegraph
+    #: output).  Scope totals are always recorded.
+    stacks: bool = True
+    #: Rows shown in the rendered hotspot table.
+    top: int = 25
+
+
+@dataclass
+class ProfileEntry:
+    """Aggregate of one scope name (component category)."""
+
+    name: str
+    calls: int = 0
+    cum_ns: int = 0
+    self_ns: int = 0
+    schema_version: int = 1
+
+
+@dataclass
+class StackEntry:
+    """Self-time of one call path (root -> ... -> leaf)."""
+
+    path: List[str] = field(default_factory=list)
+    calls: int = 0
+    self_ns: int = 0
+    schema_version: int = 1
+
+
+@dataclass
+class ProfileSnapshot:
+    """Everything one point's profiler recorded (picklable)."""
+
+    entries: List[ProfileEntry] = field(default_factory=list)
+    stacks: List[StackEntry] = field(default_factory=list)
+    #: Wall-clock nanoseconds between activate and deactivate — the
+    #: denominator of the coverage figure.
+    wall_ns: int = 0
+    schema_version: int = 1
+
+    def attributed_ns(self) -> int:
+        """Self-time summed over every scope (== root cumulative time)."""
+        return sum(entry.self_ns for entry in self.entries)
+
+    def coverage(self) -> float:
+        """Attributed fraction of the measured wall clock (0.0 when unknown)."""
+        if self.wall_ns <= 0:
+            return 0.0
+        return self.attributed_ns() / self.wall_ns
+
+
+@dataclass
+class PointProfile:
+    """Profile of one sweep point."""
+
+    label: str
+    snapshots: List[ProfileSnapshot] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentProfile:
+    """All collected profiles of one experiment run."""
+
+    experiment_id: str
+    config: ProfileConfig = field(default_factory=ProfileConfig)
+    points: List[PointProfile] = field(default_factory=list)
+    schema_version: int = 1
+
+    def aggregate(self) -> ProfileSnapshot:
+        """Merge every point's snapshot into one (deterministic order).
+
+        Entries and stacks are summed by name/path in first-encounter
+        order over points in spec order, so the merged profile is
+        identical for any ``jobs`` value modulo the measured times.
+        """
+        return merge_snapshots(
+            [snap for point in self.points for snap in point.snapshots]
+        )
+
+
+def merge_snapshots(snapshots: List[ProfileSnapshot]) -> ProfileSnapshot:
+    """Sum snapshots into one, keyed by scope name / call path."""
+    entries = {}
+    stacks = {}
+    wall_ns = 0
+    for snap in snapshots:
+        wall_ns += snap.wall_ns
+        for entry in snap.entries:
+            merged = entries.get(entry.name)
+            if merged is None:
+                entries[entry.name] = ProfileEntry(
+                    name=entry.name,
+                    calls=entry.calls,
+                    cum_ns=entry.cum_ns,
+                    self_ns=entry.self_ns,
+                )
+            else:
+                merged.calls += entry.calls
+                merged.cum_ns += entry.cum_ns
+                merged.self_ns += entry.self_ns
+        for stack in snap.stacks:
+            key = tuple(stack.path)
+            merged = stacks.get(key)
+            if merged is None:
+                stacks[key] = StackEntry(
+                    path=list(stack.path), calls=stack.calls, self_ns=stack.self_ns
+                )
+            else:
+                merged.calls += stack.calls
+                merged.self_ns += stack.self_ns
+    return ProfileSnapshot(
+        entries=list(entries.values()), stacks=list(stacks.values()), wall_ns=wall_ns
+    )
+
+
+def snapshot_profiler(
+    profiler: Profiler, wall_ns: int = 0, stacks: bool = True
+) -> ProfileSnapshot:
+    """Package ``profiler``'s state (open scopes are unwound first)."""
+    profiler.unwind()
+    entries = [
+        ProfileEntry(name=name, calls=calls, cum_ns=cum, self_ns=self_ns)
+        for name, (calls, cum, self_ns) in profiler.totals().items()
+    ]
+    stack_entries = (
+        [
+            StackEntry(path=list(path), calls=calls, self_ns=self_ns)
+            for path, (calls, self_ns) in profiler.stack_totals().items()
+        ]
+        if stacks
+        else []
+    )
+    return ProfileSnapshot(entries=entries, stacks=stack_entries, wall_ns=wall_ns)
+
+
+class ProfileCollector:
+    """Parent-side accumulator passed via ``RunConfig.profile``."""
+
+    def __init__(self, config: Optional[ProfileConfig] = None):
+        self.config = config if config is not None else ProfileConfig()
+        self.points: List[PointProfile] = []
+
+    def add_point(self, label: str, snapshots: List[ProfileSnapshot]) -> None:
+        """Deposit one sweep point's snapshots (called by the executor)."""
+        self.points.append(PointProfile(label=label, snapshots=snapshots))
+
+    def clear(self) -> None:
+        """Drop everything collected so far."""
+        self.points.clear()
+
+    def experiment(self, experiment_id: str) -> ExperimentProfile:
+        """Package the collection for archiving."""
+        return ExperimentProfile(
+            experiment_id=experiment_id, config=self.config, points=list(self.points)
+        )
+
+    def aggregate(self) -> ProfileSnapshot:
+        """Merged snapshot over every point collected so far."""
+        return merge_snapshots(
+            [snap for point in self.points for snap in point.snapshots]
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+# ---------------------------------------------------------------------------
+# Process-local active collection
+# ---------------------------------------------------------------------------
+
+
+class _ActiveProfiling:
+    """The live profiler while one sweep point runs in this process."""
+
+    __slots__ = ("config", "profiler", "started_ns")
+
+    def __init__(self, config: ProfileConfig):
+        self.config = config
+        self.profiler = Profiler()
+        self.started_ns = perf_counter_ns()
+
+
+_STATE: Optional[_ActiveProfiling] = None
+
+
+def profiling_active() -> bool:
+    """True while this process is profiling a sweep point."""
+    return _STATE is not None
+
+
+def activate(config: Optional[ProfileConfig] = None) -> Profiler:
+    """Begin profiling: testbeds built from now on share one profiler."""
+    global _STATE
+    if _STATE is not None:
+        raise RuntimeError("profile collection is already active in this process")
+    _STATE = _ActiveProfiling(config if config is not None else ProfileConfig())
+    profiling_core.ACTIVE = _STATE.profiler
+    return _STATE.profiler
+
+
+def deactivate() -> List[ProfileSnapshot]:
+    """Stop profiling and snapshot the point's profiler + wall clock."""
+    global _STATE
+    state = _STATE
+    _STATE = None
+    profiling_core.ACTIVE = None
+    if state is None:
+        return []
+    wall_ns = perf_counter_ns() - state.started_ns
+    return [
+        snapshot_profiler(state.profiler, wall_ns=wall_ns, stacks=state.config.stacks)
+    ]
+
+
+def attach_simulator(sim) -> Optional[Profiler]:
+    """Install the live profiler on ``sim`` when a collection is active.
+
+    Called by :class:`~repro.core.testbed.Testbed` alongside the metrics
+    and tracing attaches.  Returns None when inactive — the kernel then
+    keeps its zero-cost :data:`~repro.obs.profiling.core.NULL_PROFILER`.
+    """
+    if _STATE is None:
+        return None
+    sim.profiler = _STATE.profiler
+    return _STATE.profiler
+
+
+def detach_all() -> None:
+    """Abandon any active collection (test cleanup helper)."""
+    global _STATE
+    _STATE = None
+    profiling_core.ACTIVE = None
+
+
+__all__ = [
+    "ProfileConfig",
+    "ProfileEntry",
+    "StackEntry",
+    "ProfileSnapshot",
+    "PointProfile",
+    "ExperimentProfile",
+    "ProfileCollector",
+    "merge_snapshots",
+    "snapshot_profiler",
+    "profiling_active",
+    "activate",
+    "deactivate",
+    "attach_simulator",
+    "detach_all",
+    "NULL_PROFILER",
+]

@@ -1,0 +1,311 @@
+"""The wall-clock profiler: scoped host-CPU timers for simulation code.
+
+All of the repository's other observability measures *simulated* time;
+this module measures where the *host's* cycles go — kernel dispatch,
+firewall evaluation, NIC queue stages, link transmission, apps — so a
+perf regression between revisions can be attributed to a component
+instead of guessed at from end-to-end wall clock.
+
+Design mirrors the metrics registry's null-object pattern:
+
+* :class:`Profiler` keeps a stack of open scopes over an interned
+  call-tree; each :meth:`~Profiler.exit` folds a
+  ``time.perf_counter_ns()`` delta into the closed path's single stats
+  list, and the per-name/per-path aggregate views are derived at
+  readout time.
+* :data:`NULL_PROFILER` is the shared no-op.  Hot paths guard every
+  profiling block with a plain attribute check (``profiler.enabled`` on
+  the kernel's instance, ``ACTIVE is not None`` at module level), so
+  the disabled profiler costs one load and one branch per site.
+
+Scope *names* are component categories ("nic.efw", "firewall.evaluate",
+"link", ...).  Components declare theirs via a ``profile_category``
+class attribute; the kernel's dispatch loop resolves the category of
+each event callback through :meth:`Profiler.enter_callback` (cached per
+class), so every scheduled callback in the simulation is attributed
+without per-component instrumentation.  Synchronous hot paths that are
+*not* their own events (rule evaluation inside a NIC's service-time
+computation, frame reception inside a link delivery) additionally open
+explicit nested scopes, which is what gives the collapsed-stack output
+its call structure.
+
+Self vs cumulative time: a scope's *cumulative* time is the full
+enter-to-exit delta; its *self* time subtracts the cumulative time of
+its direct children.  Summed over all scopes, self time equals the
+cumulative time of the root scopes — that sum over the point's measured
+wall clock is the hotspot report's coverage figure.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter_ns
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "ACTIVE",
+    "active_profiler",
+    "derive_category",
+]
+
+
+def derive_category(callback: Callable[..., Any]) -> str:
+    """Fallback category for a callback with no ``profile_category``.
+
+    Bound methods report their class, free functions their qualified
+    name, both prefixed with the defining module minus the ``repro.``
+    root — e.g. ``defense.detector.FloodDetector``.
+    """
+    inst = getattr(callback, "__self__", None)
+    if inst is not None:
+        cls = type(inst)
+        module = cls.__module__ or ""
+        label = cls.__name__
+    else:
+        module = getattr(callback, "__module__", "") or ""
+        label = getattr(
+            callback, "__qualname__", getattr(callback, "__name__", "callback")
+        )
+    if module.startswith("repro."):
+        module = module[len("repro."):]
+    return f"{module}.{label}" if module else label
+
+
+class Profiler:
+    """Scoped wall-clock timers with per-name and per-path aggregation.
+
+    Not thread-safe and not meant to be: each sweep point runs in its
+    own (possibly forked) process, and one profiler instance belongs to
+    that process's active collection.
+    """
+
+    #: Hot-path guard read by the kernel's dispatch loop.
+    enabled = True
+
+    __slots__ = (
+        "_clock",
+        "_frames",
+        "_depth",
+        "_root",
+        "_records",
+        "_categories",
+    )
+
+    def __init__(self, clock: Callable[[], int] = perf_counter_ns):
+        self._clock = clock
+        #: Preallocated open-scope frames, reused in place so the hot
+        #: path allocates nothing: [record, start_ns, child_ns] each.
+        self._frames: List[list] = [[None, 0, 0] for _ in range(64)]
+        self._depth = 0
+        #: Call-tree root record; see :meth:`_make_child` for the shape.
+        self._root = ((), None, {})
+        #: path tuple -> record, in first-encounter order (the readout
+        #: methods derive per-name totals from this at snapshot time).
+        self._records: Dict[Tuple[str, ...], tuple] = {}
+        #: Callback-category cache (class or function -> name).
+        self._categories: Dict[Any, str] = {}
+
+    # ------------------------------------------------------------------
+    # Scope entry/exit (the hot path)
+    # ------------------------------------------------------------------
+
+    def _make_child(self, parent_rec, name: str):
+        """Intern one call-tree record: ``(path, stats, children)``.
+
+        ``stats`` is the per-*path* accumulator
+        ``[calls, cumulative_ns, self_ns]``, mutated in place on exit so
+        the steady-state hot path touches no dict and exactly one stats
+        list — record interning happens once per distinct call path, the
+        per-*name* aggregation is derived at readout time.
+        """
+        path = parent_rec[0] + (name,)
+        record = (path, [0, 0, 0], {})
+        self._records[path] = record
+        parent_rec[2][name] = record
+        return record
+
+    def enter(self, name: str) -> None:
+        """Open a scope; every ``enter`` must be paired with an ``exit``."""
+        depth = self._depth
+        frames = self._frames
+        parent_rec = frames[depth - 1][0] if depth else self._root
+        record = parent_rec[2].get(name)
+        if record is None:
+            record = self._make_child(parent_rec, name)
+        if depth == len(frames):
+            frames.append([None, 0, 0])
+        frame = frames[depth]
+        self._depth = depth + 1
+        frame[0] = record
+        frame[2] = 0
+        frame[1] = self._clock()
+
+    def exit(self) -> None:
+        """Close the innermost open scope and account its time."""
+        elapsed = self._clock()
+        depth = self._depth - 1
+        self._depth = depth
+        frame = self._frames[depth]
+        elapsed -= frame[1]
+        stats = frame[0][1]
+        stats[0] += 1
+        stats[1] += elapsed
+        stats[2] += elapsed - frame[2]
+        if depth:
+            self._frames[depth - 1][2] += elapsed
+
+    def enter_callback(self, callback: Callable[..., Any]) -> None:
+        """Open a scope named after the callback's component category.
+
+        The kernel calls this once per dispatched event.  Bound methods
+        resolve through their instance's ``profile_category`` attribute
+        (instances may carry their own, e.g. per-owner service queues);
+        anything else falls back to :func:`derive_category`, cached.
+        The record lookup is inlined rather than delegated to
+        :meth:`enter` — this runs once per event and the extra call
+        would be pure dispatch-loop overhead.
+        """
+        inst = getattr(callback, "__self__", None)
+        if inst is not None:
+            name = getattr(inst, "profile_category", None)
+            if name is None:
+                key = type(inst)
+                name = self._categories.get(key)
+                if name is None:
+                    name = derive_category(callback)
+                    self._categories[key] = name
+        else:
+            name = self._categories.get(callback)
+            if name is None:
+                name = derive_category(callback)
+                self._categories[callback] = name
+        depth = self._depth
+        frames = self._frames
+        parent_rec = frames[depth - 1][0] if depth else self._root
+        record = parent_rec[2].get(name)
+        if record is None:
+            record = self._make_child(parent_rec, name)
+        if depth == len(frames):
+            frames.append([None, 0, 0])
+        frame = frames[depth]
+        self._depth = depth + 1
+        frame[0] = record
+        frame[2] = 0
+        frame[1] = self._clock()
+
+    @contextmanager
+    def scope(self, name: str):
+        """Context-manager spelling for cold paths."""
+        self.enter(name)
+        try:
+            yield self
+        finally:
+            self.exit()
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+
+    def unwind(self) -> None:
+        """Close any scopes left open (an aborted run mid-callback)."""
+        while self._depth:
+            self.exit()
+
+    def totals(self) -> Dict[str, Tuple[int, int, int]]:
+        """``name -> (calls, cumulative_ns, self_ns)``, first-encounter order.
+
+        Derived by summing the per-path records sharing a leaf name; the
+        hot path never maintains this aggregate.
+        """
+        merged: Dict[str, list] = {}
+        for path, stats, _children in self._records.values():
+            name = path[-1]
+            acc = merged.get(name)
+            if acc is None:
+                merged[name] = list(stats)
+            else:
+                acc[0] += stats[0]
+                acc[1] += stats[1]
+                acc[2] += stats[2]
+        return {name: tuple(vals) for name, vals in merged.items()}
+
+    def stack_totals(self) -> Dict[Tuple[str, ...], Tuple[int, int]]:
+        """``path -> (calls, self_ns)``, first-encounter order."""
+        return {
+            path: (stats[0], stats[2])
+            for path, (_, stats, _children) in self._records.items()
+        }
+
+    def attributed_ns(self) -> int:
+        """Total attributed time: the self-time sum over every scope."""
+        return sum(record[1][2] for record in self._records.values())
+
+    def clear(self) -> None:
+        """Drop everything recorded (open scopes included)."""
+        self._depth = 0
+        self._root = ((), None, {})
+        self._records.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        scopes = len({path[-1] for path in self._records})
+        return f"<Profiler scopes={scopes} open={self._depth}>"
+
+
+class NullProfiler:
+    """The shared do-nothing profiler (mirrors ``NullRegistry``).
+
+    ``enabled`` is False, so kernel/hot-path guards skip their blocks
+    entirely; the methods exist for cold callers that do not guard.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def enter(self, name: str) -> None:
+        pass
+
+    def exit(self) -> None:
+        pass
+
+    def enter_callback(self, callback: Callable[..., Any]) -> None:
+        pass
+
+    @contextmanager
+    def scope(self, name: str):
+        yield self
+
+    def unwind(self) -> None:
+        pass
+
+    def totals(self) -> Dict[str, Tuple[int, int, int]]:
+        return {}
+
+    def stack_totals(self) -> Dict[Tuple[str, ...], Tuple[int, int]]:
+        return {}
+
+    def attributed_ns(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullProfiler>"
+
+
+#: The zero-cost default installed on every fresh kernel.
+NULL_PROFILER = NullProfiler()
+
+#: The process-local live profiler, or None when profiling is off.
+#: Components with no simulator reference (the rule engine) read this
+#: module global directly; :mod:`repro.obs.profiling.collect` manages it.
+ACTIVE: Optional[Profiler] = None
+
+
+def active_profiler() -> Optional[Profiler]:
+    """The live profiler of this process, or None when profiling is off."""
+    return ACTIVE

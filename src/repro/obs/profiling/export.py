@@ -1,0 +1,104 @@
+"""Profile exporters: hotspot tables and collapsed flamegraph stacks.
+
+Two renderings of a :class:`~repro.obs.profiling.collect.ProfileSnapshot`:
+
+* :func:`hotspot_table` — a top-N text table sorted by self time, with
+  cumulative time, call counts, per-call cost, and the coverage line
+  (attributed self time over the measured wall clock).
+* :func:`collapsed_stacks` — Brendan Gregg's collapsed-stack format
+  (``root;child;leaf <microseconds>`` per line), consumable directly by
+  ``flamegraph.pl`` or speedscope's "Import" dialog.
+
+JSON archiving goes through the versioned results envelope
+(:mod:`repro.experiments.results`), not through this module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.obs.profiling.collect import (
+    ExperimentProfile,
+    ProfileSnapshot,
+)
+
+__all__ = ["hotspot_table", "collapsed_stacks", "write_collapsed"]
+
+
+def _snapshot(profile: Union[ProfileSnapshot, ExperimentProfile]) -> ProfileSnapshot:
+    if isinstance(profile, ExperimentProfile):
+        return profile.aggregate()
+    return profile
+
+
+def _format_ns(ns: int) -> str:
+    """Human scale: ns under 10 µs, then µs, ms, s."""
+    if ns < 10_000:
+        return f"{ns} ns"
+    if ns < 10_000_000:
+        return f"{ns / 1e3:.1f} us"
+    if ns < 10_000_000_000:
+        return f"{ns / 1e6:.1f} ms"
+    return f"{ns / 1e9:.2f} s"
+
+
+def hotspot_table(
+    profile: Union[ProfileSnapshot, ExperimentProfile], top: int = 25
+) -> str:
+    """Render the top-``top`` scopes by self time as a text table."""
+    snapshot = _snapshot(profile)
+    entries = sorted(snapshot.entries, key=lambda e: (-e.self_ns, e.name))
+    attributed = snapshot.attributed_ns()
+    shown = entries[:top]
+    name_width = max([len(e.name) for e in shown] + [len("component")])
+    header = (
+        f"{'component':<{name_width}}  {'self':>10}  {'cum':>10}  "
+        f"{'calls':>10}  {'ns/call':>10}  {'self%':>6}"
+    )
+    lines = ["Hotspots (self wall-clock time per component)", header, "-" * len(header)]
+    for entry in shown:
+        per_call = entry.cum_ns // entry.calls if entry.calls else 0
+        share = (100.0 * entry.self_ns / attributed) if attributed else 0.0
+        lines.append(
+            f"{entry.name:<{name_width}}  {_format_ns(entry.self_ns):>10}  "
+            f"{_format_ns(entry.cum_ns):>10}  {entry.calls:>10}  "
+            f"{per_call:>10}  {share:>5.1f}%"
+        )
+    hidden = len(entries) - len(shown)
+    if hidden > 0:
+        rest = sum(e.self_ns for e in entries[top:])
+        lines.append(f"... {hidden} more component(s), {_format_ns(rest)} self time")
+    if snapshot.wall_ns > 0:
+        lines.append(
+            f"attributed {_format_ns(attributed)} of {_format_ns(snapshot.wall_ns)} "
+            f"measured wall clock ({100.0 * snapshot.coverage():.1f}% coverage)"
+        )
+    else:
+        lines.append(f"attributed {_format_ns(attributed)} (no wall-clock baseline)")
+    return "\n".join(lines)
+
+
+def collapsed_stacks(profile: Union[ProfileSnapshot, ExperimentProfile]) -> str:
+    """Collapsed-stack lines: ``a;b;c <self_us>``, one per call path.
+
+    Values are integer microseconds of *self* time (flamegraph tools sum
+    child frames themselves); zero-weight paths are kept so rare frames
+    still appear with minimal width.
+    """
+    snapshot = _snapshot(profile)
+    lines: List[str] = []
+    for stack in snapshot.stacks:
+        weight = max(1, stack.self_ns // 1000)
+        lines.append(f"{';'.join(stack.path)} {weight}")
+    return "\n".join(lines)
+
+
+def write_collapsed(
+    profile: Union[ProfileSnapshot, ExperimentProfile], path: str
+) -> None:
+    """Write :func:`collapsed_stacks` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        text = collapsed_stacks(profile)
+        stream.write(text)
+        if text:
+            stream.write("\n")

@@ -80,6 +80,8 @@ class Sampler:
         Virtual seconds between samples.
     """
 
+    profile_category = "obs.sampler"
+
     def __init__(self, sim, registry, interval: float):
         if interval <= 0:
             raise ValueError(f"sample interval must be positive, got {interval}")

@@ -44,6 +44,8 @@ class PolicyServer:
         dedicated policy-server machine).
     """
 
+    profile_category = "policy.server"
+
     def __init__(self, host):
         self.host = host
         self.sim = host.sim
@@ -418,6 +420,8 @@ class NicAgent:
     rule-sets into the NIC.  Also exposes the agent-restart operation —
     the recovery path for the EFW lockup.
     """
+
+    profile_category = "policy.agent"
 
     def __init__(self, host, nic):
         self.host = host

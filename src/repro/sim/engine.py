@@ -40,6 +40,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.profiling.core import NULL_PROFILER
 from repro.obs.registry import NULL_REGISTRY
 from repro.obs.tracing.tracer import PacketTracer
 
@@ -147,6 +148,7 @@ class Simulator:
         "events_cancelled",
         "tracer",
         "metrics",
+        "profiler",
     )
 
     def __init__(self, start_time: float = 0.0):
@@ -176,6 +178,12 @@ class Simulator:
         #: constructors register unconditionally at zero cost; a testbed
         #: collecting metrics swaps in a real registry before wiring up.
         self.metrics = NULL_REGISTRY
+        #: Wall-clock profiler shared by every component built on this
+        #: kernel (see :mod:`repro.obs.profiling`).  The null default
+        #: makes the dispatch loop's profiling guard one attribute read
+        #: and one branch per event; a profiling run swaps in a live
+        #: :class:`~repro.obs.profiling.core.Profiler` before running.
+        self.profiler = NULL_PROFILER
 
     # ------------------------------------------------------------------
     # Clock
@@ -265,7 +273,13 @@ class Simulator:
             event._kernel = None
             self._now = time
             self.events_executed += 1
-            event.callback(*event.args)
+            profiler = self.profiler
+            if profiler.enabled:
+                profiler.enter_callback(event.callback)
+                event.callback(*event.args)
+                profiler.exit()
+            else:
+                event.callback(*event.args)
             return True
         return False
 
@@ -292,6 +306,15 @@ class Simulator:
         heappop = heapq.heappop
         executed = 0
         truncated = False
+        # Profiling guard, hoisted: with the null profiler the whole
+        # cost is this one local-bool test per event.  A live profiler
+        # wraps the loop in a "sim.run" root scope whose *self* time is
+        # the kernel's own dispatch overhead, and each callback in a
+        # scope named after its component category.
+        profiler = self.profiler
+        profiling = profiler.enabled
+        if profiling:
+            profiler.enter("sim.run")
         try:
             while heap:
                 time = heap[0]
@@ -319,7 +342,12 @@ class Simulator:
                     event._kernel = None
                     self._now = time
                     self.events_executed += 1
-                    event.callback(*event.args)
+                    if profiling:
+                        profiler.enter_callback(event.callback)
+                        event.callback(*event.args)
+                        profiler.exit()
+                    else:
+                        event.callback(*event.args)
                     executed += 1
                     if max_events is not None and executed >= max_events:
                         truncated = True
@@ -343,6 +371,8 @@ class Simulator:
                     self._now = float(until)
         finally:
             self._running = False
+            if profiling:
+                profiler.exit()
 
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events in the queue.  O(1)."""

@@ -14,7 +14,23 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
+from repro.obs.profiling.core import derive_category
 from repro.sim.engine import Event, Simulator
+
+
+def _timer_category(callback: Callable[..., Any]) -> str:
+    """Profile category of the component whose deadline this timer is.
+
+    Timers fire as kernel events bound to the timer object; attributing
+    their cost to "the timer" would hide the real component, so the
+    category is resolved from the *wrapped* callback instead.
+    """
+    inst = getattr(callback, "__self__", None)
+    if inst is not None:
+        category = getattr(inst, "profile_category", None)
+        if category is not None:
+            return category
+    return derive_category(callback)
 
 
 class Timer:
@@ -30,6 +46,15 @@ class Timer:
         self._callback = callback
         self._args = args
         self._event: Optional[Event] = None
+        self._profile_category: Optional[str] = None
+
+    @property
+    def profile_category(self) -> str:
+        """Read by the profiling dispatch hook; see :func:`_timer_category`."""
+        category = self._profile_category
+        if category is None:
+            category = self._profile_category = _timer_category(self._callback)
+        return category
 
     @property
     def running(self) -> bool:
@@ -81,6 +106,15 @@ class PeriodicTimer:
         self._args = args
         self._event: Optional[Event] = None
         self.fired = 0
+        self._profile_category: Optional[str] = None
+
+    @property
+    def profile_category(self) -> str:
+        """Read by the profiling dispatch hook; see :func:`_timer_category`."""
+        category = self._profile_category
+        if category is None:
+            category = self._profile_category = _timer_category(self._callback)
+        return category
 
     @property
     def running(self) -> bool:
@@ -149,11 +183,17 @@ class TimerWheel:
     (flood-generator pacing across a fleet) and the plain
     :class:`Timer`/:class:`PeriodicTimer` where exact deadlines matter.
 
+    Under profiling the wheel's own bookkeeping is billed to
+    ``sim.timer`` and every fired entry to its component's category, so
+    a fleet's flood-pacing cost does not hide inside the wheel tick.
+
     The driving kernel event is armed lazily: an empty wheel schedules
     nothing, and the wheel re-arms only while entries remain.  Tick times
     are computed from the wheel's epoch (first arming time) as
     ``epoch + index * tick`` so long runs do not accumulate float drift.
     """
+
+    profile_category = "sim.timer"
 
     def __init__(self, sim: Simulator, tick: float, slots: int = 256):
         if tick <= 0:
@@ -250,6 +290,8 @@ class TimerWheel:
                 else:
                     keep.append(entry)
             slot[:] = keep
+            profiler = self._sim.profiler
+            profiling = profiler.enabled
             for entry in due:
                 if entry.cancelled:
                     # Cancelled by an earlier callback on this same tick.
@@ -261,6 +303,11 @@ class TimerWheel:
                     self._slots[entry._expiry_tick % len(self._slots)].append(entry)
                 else:
                     self._live -= 1
-                entry._callback(*entry._args)
+                if profiling:
+                    profiler.enter_callback(entry._callback)
+                    entry._callback(*entry._args)
+                    profiler.exit()
+                else:
+                    entry._callback(*entry._args)
         if self._live > 0:
             self._arm()

@@ -11,12 +11,23 @@ from repro.experiments import runner
 
 
 def _stub_entry(output="FULL-OUTPUT", quick_output="QUICK-OUTPUT"):
-    """An ExperimentSpec entry following the shared keyword contract."""
+    """An ExperimentSpec entry following the RunConfig contract."""
 
-    def entry(*, preset=None, progress=None, jobs=None, metrics=None):
-        return quick_output if preset is not None and preset.name == "quick" else output
+    def entry(config):
+        quick = config.preset is not None and config.preset.name == "quick"
+        return quick_output if quick else output
 
     return entry
+
+
+def _recording_run(seen):
+    """A run_experiment_result stand-in that records its RunConfig."""
+
+    def fake_run(experiment_id, quick=False, config=None, **legacy):
+        seen.append((experiment_id, config))
+        return "output"
+
+    return fake_run
 
 
 class TestCli:
@@ -48,20 +59,15 @@ class TestCli:
         assert "QUICK-OUTPUT" in capsys.readouterr().out
 
     def test_all_expands_to_every_experiment(self, monkeypatch, capsys):
-        calls = []
-
-        def fake_run(experiment_id, quick=False, progress=None, jobs=None, metrics=None):
-            calls.append(experiment_id)
-            return f"ran {experiment_id}"
-
-        monkeypatch.setattr(cli, "run_experiment_result", fake_run)
+        seen = []
+        monkeypatch.setattr(cli, "run_experiment_result", _recording_run(seen))
         assert cli.main(["all", "--no-progress"]) == 0
-        assert calls == runner.experiment_ids()
+        assert [experiment_id for experiment_id, _ in seen] == runner.experiment_ids()
 
     def test_progress_goes_to_stderr(self, monkeypatch, capsys):
-        def fake_run(experiment_id, quick=False, progress=None, jobs=None, metrics=None):
-            if progress is not None:
-                progress("step one")
+        def fake_run(experiment_id, quick=False, config=None, **legacy):
+            if config.progress is not None:
+                config.progress("step one")
             return "output"
 
         monkeypatch.setattr(cli, "run_experiment_result", fake_run)
@@ -87,11 +93,7 @@ class TestCli:
             def table(self):
                 return "STUB-TABLE"
 
-        spec = runner.ExperimentSpec(
-            "stub",
-            "a stub",
-            lambda *, preset=None, progress=None, jobs=None, metrics=None: StubResult(),
-        )
+        spec = runner.ExperimentSpec("stub", "a stub", lambda config: StubResult())
         monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
         monkeypatch.setattr(cli, "run_experiment_result", runner.run_experiment_result)
         monkeypatch.setattr(cli, "experiment_ids", runner.experiment_ids)
@@ -114,30 +116,19 @@ class TestCli:
         assert runner.render_result([WithTable(), WithTable()]) == "T\n\nT"
 
     def test_jobs_flag_reaches_runner(self, monkeypatch, capsys):
-        seen = {}
-
-        def fake_run(experiment_id, quick=False, progress=None, jobs=None, metrics=None):
-            seen["jobs"] = jobs
-            return "output"
-
-        monkeypatch.setattr(cli, "run_experiment_result", fake_run)
+        seen = []
+        monkeypatch.setattr(cli, "run_experiment_result", _recording_run(seen))
         monkeypatch.setattr(cli, "experiment_ids", lambda: ["stub"])
         assert cli.main(["stub", "--no-progress", "--jobs", "3"]) == 0
-        assert seen["jobs"] == 3
+        assert seen[0][1].jobs == 3
 
     def test_jobs_defaults_from_env_var(self, monkeypatch, capsys):
-        seen = {}
-
-        def fake_run(experiment_id, quick=False, progress=None, jobs=None, metrics=None):
-            seen["jobs"] = jobs
-            return "output"
-
-        monkeypatch.setattr(cli, "run_experiment_result", fake_run)
+        seen = []
+        monkeypatch.setattr(cli, "run_experiment_result", _recording_run(seen))
         monkeypatch.setattr(cli, "experiment_ids", lambda: ["stub"])
         monkeypatch.setenv("REPRO_JOBS", "5")
         assert cli.main(["stub", "--no-progress"]) == 0
-        assert seen["jobs"] == 5
-
+        assert seen[0][1].jobs == 5
 
     def test_no_compiled_matcher_flag_disables_fast_path(self, monkeypatch, capsys):
         from repro.firewall import compiled
@@ -177,3 +168,92 @@ class TestCli:
         assert payload["schema_version"] == 1
         assert payload["result"]["_type"] == "ExperimentMetrics"
         assert (out_dir / "stub_metrics.csv").read_text().startswith("point,run,")
+
+
+def _profiled_sweep_entry(config):
+    """A stub entry that actually sweeps, so profiles have content."""
+    from repro.core.parallel import SweepPointSpec
+
+    executor = config.executor()
+    executor.run([SweepPointSpec(label="p", fn=_profiled_point, kwargs={})])
+    return "PROFILED-OUTPUT"
+
+
+def _cli_tick():
+    pass
+
+
+def _profiled_point() -> bool:
+    from repro.obs.profiling import collect as profile_collect
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    attached = profile_collect.attach_simulator(sim)
+    sim.schedule(0.01, _cli_tick)
+    sim.run(until=0.02)
+    return attached is not None
+
+
+class TestProfileFlag:
+    def _patch_stub(self, monkeypatch, entry):
+        spec = runner.ExperimentSpec("stub", "a stub", entry)
+        monkeypatch.setattr(runner, "REGISTRY", {"stub": spec})
+        monkeypatch.setattr(cli, "run_experiment_result", runner.run_experiment_result)
+        monkeypatch.setattr(cli, "experiment_ids", runner.experiment_ids)
+
+    def test_profile_flag_writes_profile_files(self, monkeypatch, capsys, tmp_path):
+        import json
+
+        self._patch_stub(monkeypatch, _profiled_sweep_entry)
+        out_dir = tmp_path / "profiles"
+        assert (
+            cli.main(
+                ["stub", "--no-progress", "--jobs", "1", "--profile", str(out_dir)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "PROFILED-OUTPUT" in captured.out
+        # The hotspot table lands on stderr, not in the table stream.
+        assert "Hotspots" in captured.err
+        assert "Hotspots" not in captured.out
+        payload = json.loads((out_dir / "stub_profile.json").read_text())
+        assert payload["schema_version"] == 1
+        assert payload["result"]["_type"] == "ExperimentProfile"
+        assert payload["result"]["points"][0]["label"] == "p"
+        collapsed = (out_dir / "stub_profile.collapsed").read_text()
+        assert collapsed.startswith("sim.run ")
+
+    def test_profile_top_limits_the_table(self, monkeypatch, capsys, tmp_path):
+        self._patch_stub(monkeypatch, _profiled_sweep_entry)
+        out_dir = tmp_path / "profiles"
+        assert (
+            cli.main(
+                [
+                    "stub",
+                    "--no-progress",
+                    "--jobs",
+                    "1",
+                    "--profile",
+                    str(out_dir),
+                    "--profile-top",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "more component(s)" in err
+
+    def test_profile_top_validated(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["stub", "--profile-top", "0"])
+        assert excinfo.value.code == 2
+        assert "--profile-top" in capsys.readouterr().err
+
+    def test_without_the_flag_no_profiling_happens(self, monkeypatch, capsys, tmp_path):
+        self._patch_stub(monkeypatch, _profiled_sweep_entry)
+        assert cli.main(["stub", "--no-progress", "--jobs", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "Hotspots" not in captured.err
+        assert list(tmp_path.iterdir()) == []

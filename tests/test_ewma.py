@@ -1,0 +1,89 @@
+"""Tests for the EWMA rate estimator the flood detector watches."""
+
+import pytest
+
+from repro.obs.ewma import RateEwma
+
+
+class TestConstruction:
+    def test_alpha_bounds(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                RateEwma(alpha=bad)
+        # The boundary alpha=1.0 (no smoothing) is allowed.
+        assert RateEwma(alpha=1.0).alpha == 1.0
+
+    def test_starts_at_zero(self):
+        assert RateEwma().rate == 0.0
+
+
+class TestUpdates:
+    def test_first_sample_only_establishes_the_baseline(self):
+        ewma = RateEwma(alpha=0.5)
+        assert ewma.update(1.0, 100.0) == 0.0
+        assert ewma.rate == 0.0
+
+    def test_second_sample_yields_the_first_rate(self):
+        ewma = RateEwma(alpha=0.5)
+        ewma.update(0.0, 0.0)
+        # 50 events over 0.5 s = 100/s; EWMA from 0: 0 + 0.5*(100-0) = 50.
+        assert ewma.update(0.5, 50.0) == pytest.approx(50.0)
+
+    def test_smoothing_converges_on_a_steady_rate(self):
+        ewma = RateEwma(alpha=0.5)
+        for step in range(40):
+            rate = ewma.update(step * 1.0, step * 200.0)
+        assert rate == pytest.approx(200.0, rel=1e-6)
+
+    def test_alpha_one_tracks_the_instantaneous_rate(self):
+        ewma = RateEwma(alpha=1.0)
+        ewma.update(0.0, 0.0)
+        ewma.update(1.0, 10.0)
+        assert ewma.rate == pytest.approx(10.0)
+        ewma.update(2.0, 1010.0)
+        assert ewma.rate == pytest.approx(1000.0)
+
+    def test_irregular_sample_spacing_normalizes_by_elapsed_time(self):
+        ewma = RateEwma(alpha=1.0)
+        ewma.update(0.0, 0.0)
+        ewma.update(0.1, 10.0)  # 100/s over a short interval
+        assert ewma.rate == pytest.approx(100.0)
+        ewma.update(2.1, 210.0)  # same 100/s over a long one
+        assert ewma.rate == pytest.approx(100.0)
+
+    def test_zero_or_negative_elapsed_keeps_the_rate(self):
+        ewma = RateEwma(alpha=0.5)
+        ewma.update(0.0, 0.0)
+        ewma.update(1.0, 100.0)
+        before = ewma.rate
+        # Same timestamp and a clock step backwards both change nothing.
+        assert ewma.update(1.0, 500.0) == before
+        assert ewma.update(0.5, 900.0) == before
+        assert ewma.rate == before
+
+    def test_counter_reset_clamps_to_a_zero_sample(self):
+        ewma = RateEwma(alpha=1.0)
+        ewma.update(0.0, 1000.0)
+        # The counter wrapped/reset below its last total: the negative
+        # delta is clamped so the rate decays instead of going negative.
+        ewma.update(1.0, 10.0)
+        assert ewma.rate == 0.0
+
+    def test_update_returns_the_stored_rate(self):
+        ewma = RateEwma(alpha=0.25)
+        ewma.update(0.0, 0.0)
+        returned = ewma.update(2.0, 80.0)
+        assert returned == ewma.rate == pytest.approx(10.0)
+
+
+class TestReset:
+    def test_reset_forgets_history_and_baseline(self):
+        ewma = RateEwma(alpha=0.5)
+        ewma.update(0.0, 0.0)
+        ewma.update(1.0, 100.0)
+        assert ewma.rate > 0.0
+        ewma.reset()
+        assert ewma.rate == 0.0
+        # The next update is a baseline again, not a rate sample.
+        assert ewma.update(5.0, 1000.0) == 0.0
+        assert ewma.update(6.0, 1050.0) == pytest.approx(25.0)
