@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-all test-deprecations bench bench-quick bench-equivalence bench-trace bench-profile bench-mitigation bench-mitigation-smoke experiments experiments-quick examples timings clean
+.PHONY: install test test-slow test-all test-deprecations bench bench-quick bench-equivalence bench-trace bench-profile bench-invariants bench-mitigation bench-mitigation-smoke chaos-smoke experiments experiments-quick examples timings clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -51,6 +51,19 @@ bench-trace:
 # profiler costs >35% over the absent run (CI runs this).
 bench-profile:
 	$(PYTHON) benchmarks/parallel_bench.py fig2 --profile-overhead-only --fail-profile-off-above 3 --fail-profile-on-above 35
+
+# Runtime invariant-monitor overhead on the fig2 quick preset: monitors
+# absent vs warn mode, identical tables required; merged into
+# BENCH_parallel.json.  Fails when warn mode costs >5% over the
+# monitors-absent run (CI runs this).
+bench-invariants:
+	$(PYTHON) benchmarks/parallel_bench.py fig2 --invariant-overhead-only --fail-invariant-overhead-above 5
+
+# Chaos smoke: the trimmed scenario grid under fail-fast invariants —
+# every fault injects and clears on schedule and no invariant is
+# violated on any point (CI runs this).
+chaos-smoke:
+	$(PYTHON) -m repro.experiments chaos --preset quick --invariants fail-fast --no-progress
 
 # Fleet-scale kernel benchmark: 4/32/128/256-host flood scenarios on the
 # multi-switch fabric, current vs embedded pre-PR kernel/switch, plus the

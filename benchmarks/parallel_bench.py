@@ -24,6 +24,9 @@ writes a machine-readable summary to ``BENCH_parallel.json``:
       "profiling": {
         "experiment": "fig2", "off_s": ..., "on_s": ...,
         "off_overhead_pct": ..., "on_overhead_pct": ..., "coverage_pct": ...
+      },
+      "invariants": {
+        "experiment": "fig2", "off_s": ..., "warn_s": ..., "overhead_pct": ...
       }
     }
 
@@ -48,6 +51,12 @@ budget), the fully-on time against the profiler-absent time.
 ``--profile-overhead-only`` runs just this leg and merges it into the
 output file; ``--fail-profile-off-above 3`` / ``--fail-profile-on-above
 35`` turn it into the gate ``make bench-profile`` and CI enforce.
+
+The ``invariants`` section times one quick preset with the runtime
+invariant monitors absent and in ``warn`` mode; the two tables must be
+identical, and the warn-mode overhead is budgeted at <= 5 %
+(``--invariant-overhead-only`` / ``--fail-invariant-overhead-above``,
+enforced by ``make bench-invariants`` and CI).
 
 The ``compiled`` section is the compiled-classifier equivalence leg
 (``--equivalence-only`` runs just this, as CI does): each experiment's
@@ -103,14 +112,25 @@ PRE_PROFILE_BASELINE_S = {"fig2": 6.868}
 
 
 def _timed_run(
-    experiment_id: str, jobs: int, metrics=None, trace=None, profile=None
+    experiment_id: str,
+    jobs: int,
+    metrics=None,
+    trace=None,
+    profile=None,
+    invariants=None,
 ) -> Tuple[float, str]:
     """Run one quick preset; return (wall-clock seconds, rendered output)."""
     start = time.perf_counter()
     result = runner.run_experiment_result(
         experiment_id,
         quick=True,
-        config=RunConfig(jobs=jobs, metrics=metrics, trace=trace, profile=profile),
+        config=RunConfig(
+            jobs=jobs,
+            metrics=metrics,
+            trace=trace,
+            profile=profile,
+            invariants=invariants,
+        ),
     )
     elapsed = time.perf_counter() - start
     return elapsed, runner.render_result(result)
@@ -306,6 +326,73 @@ def _profile_overhead(
         file=sys.stderr,
     )
     return result
+
+
+def _invariant_overhead(experiment_id: str, runs: int = 3) -> dict:
+    """Cost of the runtime invariant monitors on one quick preset.
+
+    Two modes, *interleaved* (off, warn, off, warn, ...) for ``runs``
+    rounds with the best run of each kept, like the profiling leg: the
+    monitors absent entirely vs ``invariants="warn"`` (an
+    :class:`~repro.chaos.invariants.InvariantMonitor` attached to every
+    testbed, running the full check suite on its periodic tick).  The
+    rendered tables must be byte-identical — the monitors observe
+    counters, they never mutate simulation state.
+
+    ``overhead_pct`` diffs warn against off; the budget is <= 5 %,
+    enforced by ``--fail-invariant-overhead-above`` (``make
+    bench-invariants`` / CI).
+    """
+    timings = {}
+    outputs = {}
+    print(
+        f"== {experiment_id}: invariants off vs warn, interleaved best of {runs} ==",
+        file=sys.stderr,
+    )
+    for _ in range(runs):
+        for label, invariants in (("off", None), ("warn", "warn")):
+            elapsed, out = _timed_run(experiment_id, 1, invariants=invariants)
+            best = timings.get(label)
+            timings[label] = elapsed if best is None else min(best, elapsed)
+            outputs[label] = out
+    if outputs["off"] != outputs["warn"]:
+        raise AssertionError(
+            f"{experiment_id}: invariant monitors changed the rendered table"
+        )
+    off, warn = timings["off"], timings["warn"]
+    result = {
+        "experiment": experiment_id,
+        "runs_per_mode": runs,
+        "off_s": round(off, 3),
+        "warn_s": round(warn, 3),
+        "overhead_pct": round(100.0 * (warn - off) / off, 1) if off else 0.0,
+        "outputs_identical": True,
+    }
+    print(
+        f"   off:  {off:.2f}s\n"
+        f"   warn: {warn:.2f}s ({result['overhead_pct']:+}%)",
+        file=sys.stderr,
+    )
+    return result
+
+
+def _check_invariant_gate(invariants: dict, limit: Optional[float]) -> int:
+    """Enforce ``--fail-invariant-overhead-above`` on the invariants leg."""
+    if limit is None:
+        return 0
+    pct = invariants["overhead_pct"]
+    if pct > limit:
+        print(
+            f"ERROR: invariant-monitor overhead {pct}% exceeds the "
+            f"{limit}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"invariant-monitor overhead {pct}% within the {limit}% budget",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _compiled_equivalence(ids: List[str], jobs: int) -> dict:
@@ -553,6 +640,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--no-invariant-overhead",
+        action="store_true",
+        help="skip the invariant-monitor overhead measurement in the full sweep",
+    )
+    parser.add_argument(
+        "--invariant-overhead-only",
+        action="store_true",
+        help=(
+            "run only the invariant-monitor overhead leg (monitors absent "
+            "vs invariants=warn on one quick preset, identical tables "
+            "required) and merge it into the output JSON; this is what "
+            "bench-invariants and CI run"
+        ),
+    )
+    parser.add_argument(
+        "--fail-invariant-overhead-above",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero when the invariant-monitor (warn mode) overhead "
+        "vs the monitors-absent run exceeds this percentage",
+    )
+    parser.add_argument(
         "--fail-profile-off-above",
         type=float,
         default=None,
@@ -617,6 +727,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write("\n")
         print(f"wrote {args.output}", file=sys.stderr)
         return _check_overhead_gate(overhead, args.fail_overhead_above)
+
+    if args.invariant_overhead_only:
+        overhead_id = args.experiments[0] if args.experiments else "fig2"
+        invariants = _invariant_overhead(overhead_id, runs=args.trace_runs)
+        try:
+            with open(args.output) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {
+                "jobs": jobs,
+                "cpu_count": os.cpu_count(),
+                "python": platform.python_version(),
+                "preset": "quick",
+            }
+        payload["invariants"] = invariants
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+        return _check_invariant_gate(invariants, args.fail_invariant_overhead_above)
 
     if args.profile_overhead_only:
         overhead_id = args.experiments[0] if args.experiments else "fig2"
@@ -738,6 +868,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             payload["profiling"],
             args.fail_profile_off_above,
             args.fail_profile_on_above,
+        )
+    if not args.no_invariant_overhead:
+        invariant_id = "fig2" if "fig2" in ids else ids[0]
+        payload["invariants"] = _invariant_overhead(
+            invariant_id, runs=args.trace_runs
+        )
+        gate = gate or _check_invariant_gate(
+            payload["invariants"], args.fail_invariant_overhead_above
         )
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)

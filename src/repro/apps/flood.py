@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.chaos import invariants as chaos_invariants
 from repro.host.host import Host
 from repro.net.addresses import Ipv4Address
 from repro.net.packet import (
@@ -137,6 +138,7 @@ class FloodGenerator:
         self._interval = 1.0 / rate_pps
         self.started_at = self.sim.now
         self.stopped_at = None
+        chaos_invariants.note_flood(self.sim, str(target), rate_pps)
         if self._wheel is not None:
             self._wheel_timer = self._wheel.schedule_periodic(
                 self._interval, self._send_one, initial_delay=self._interval

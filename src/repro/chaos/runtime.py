@@ -1,0 +1,114 @@
+"""Process-wide chaos activation, mirroring :mod:`repro.obs.collect`.
+
+Sweep workers can't reach into an experiment function to hand it a
+chaos schedule, so activation follows the metrics-collection pattern:
+the worker calls :func:`activate` before invoking the experiment
+function, every testbed constructor calls :func:`attach_testbed` (a
+no-op single check when chaos is inactive), and the worker calls
+:func:`deactivate` afterwards to harvest what happened.
+
+Activation state is per-process; with process-pool sweeps each worker
+activates independently, which is exactly the isolation wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.invariants import MODES, InvariantMonitor, InvariantViolation
+from repro.chaos.schedule import SCENARIOS, ChaosInjector, build_scenario
+
+
+@dataclass
+class ChaosSnapshot:
+    """What one activation window saw: faults fired, violations found."""
+
+    scenario: Optional[str] = None
+    invariants: Optional[str] = None
+    faults_injected: int = 0
+    faults_cleared: int = 0
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class _ChaosState:
+    scenario: Optional[str]
+    invariants: Optional[str]
+    injectors: List[ChaosInjector] = field(default_factory=list)
+    monitors: List[InvariantMonitor] = field(default_factory=list)
+
+
+_ACTIVE: Optional[_ChaosState] = None
+
+
+def chaos_active() -> bool:
+    """True while an activation window is open in this process."""
+    return _ACTIVE is not None
+
+
+def activate(chaos: Optional[str] = None, invariants: Optional[str] = None) -> None:
+    """Open an activation window.
+
+    ``chaos`` names a scenario from
+    :data:`~repro.chaos.schedule.SCENARIOS` to arm on every testbed
+    built inside the window; ``invariants`` (``"warn"`` or
+    ``"fail-fast"``) attaches an :class:`InvariantMonitor` to each.
+    Either may be None; activating with both None is a no-op window.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("chaos runtime already active")
+    if chaos is not None and chaos not in SCENARIOS:
+        raise ValueError(
+            f"unknown chaos scenario {chaos!r}; choose from {', '.join(SCENARIOS)}"
+        )
+    if invariants is not None and invariants not in MODES:
+        raise ValueError(f"invariants mode must be one of {MODES}, got {invariants!r}")
+    _ACTIVE = _ChaosState(scenario=chaos, invariants=invariants)
+
+
+def attach_testbed(bed) -> None:
+    """Arm the active scenario/monitors on a freshly built testbed.
+
+    Called at the end of every testbed constructor; a single ``is
+    None`` check when chaos is inactive.
+    """
+    if _ACTIVE is None:
+        return
+    injector: Optional[ChaosInjector] = None
+    if _ACTIVE.scenario is not None:
+        schedule = build_scenario(_ACTIVE.scenario)
+        injector = ChaosInjector(bed, schedule)
+        injector.arm()
+        _ACTIVE.injectors.append(injector)
+        bed.chaos = injector
+    if _ACTIVE.invariants is not None:
+        monitor = InvariantMonitor(bed, mode=_ACTIVE.invariants, injector=injector)
+        _ACTIVE.monitors.append(monitor)
+        bed.invariant_monitor = monitor
+
+
+def deactivate(strict: bool = True) -> Optional[ChaosSnapshot]:
+    """Close the window, finalize monitors, return the snapshot.
+
+    ``strict`` False skips the monitors' final sweep (the run already
+    failed; end-state invariants would mask the original error).
+    Returns None when no window was open.
+    """
+    global _ACTIVE
+    state = _ACTIVE
+    _ACTIVE = None
+    if state is None:
+        return None
+    snapshot = ChaosSnapshot(scenario=state.scenario, invariants=state.invariants)
+    for injector in state.injectors:
+        snapshot.faults_injected += injector.injected
+        snapshot.faults_cleared += injector.cleared
+    for monitor in state.monitors:
+        snapshot.violations.extend(monitor.finalize(strict=strict))
+    return snapshot

@@ -100,6 +100,8 @@ class SweepCheckpoint:
         metrics_interval: Optional[float],
         trace_config,
         profile_config=None,
+        chaos=None,
+        invariants=None,
     ) -> str:
         """Stable identity of one sweep point under one collection config."""
         serialize = _results().serialize
@@ -116,6 +118,12 @@ class SweepCheckpoint:
         # written before the profiler existed keep matching their specs.
         if profile_config is not None:
             identity["profile"] = serialize(profile_config)
+        # Likewise chaos/invariants: absent from the identity when off,
+        # so pre-chaos checkpoints keep matching their specs.
+        if chaos is not None:
+            identity["chaos"] = chaos
+        if invariants is not None:
+            identity["invariants"] = invariants
         blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 
 from repro import calibration
 from repro.apps.flood import FloodGenerator, FloodKind, FloodSpec
+from repro.chaos import runtime as chaos_runtime
 from repro.apps.iperf import IperfClient, IperfServer, UdpIperfSession
 from repro.core import metrics
 from repro.core.testbed import DeviceKind
@@ -46,7 +47,7 @@ from repro.defense.detector import FloodDetector
 from repro.obs import collect as obs_collect
 from repro.obs.profiling import collect as profile_collect
 from repro.obs.tracing import collect as trace_collect
-from repro.policy.push import PushReport
+from repro.policy.push import PushBackoff, PushReport
 from repro.policy.server import NicAgent, PolicyServer
 from repro.sim import units
 from repro.sim.engine import Simulator
@@ -230,6 +231,7 @@ class FleetTestbed:
         self.defense: Optional[MitigationController] = None
         if profiler is not None:
             profiler.exit()
+        chaos_runtime.attach_testbed(self)
 
     def _build_nic(self, station: str):
         kind = self.spec.device if station.startswith("t") else DeviceKind.STANDARD
@@ -255,6 +257,7 @@ class FleetTestbed:
         retries: int = 2,
         ack_timeout: float = 0.05,
         networked: bool = True,
+        backoff: Optional[PushBackoff] = None,
     ) -> PushReport:
         """Define, assign, and push one rule-set per protected NIC.
 
@@ -288,10 +291,13 @@ class FleetTestbed:
             self.push_report = self.policy_server.push_all(inline=True)
             return self.push_report
         self.push_report = self.policy_server.push_all(
-            retries=retries, ack_timeout=ack_timeout
+            retries=retries, ack_timeout=ack_timeout, backoff=backoff
         )
         # Worst case: every push burns every retry.
-        deadline = self.sim.now + (retries + 1) * ack_timeout + 0.01
+        schedule = backoff
+        if schedule is None:
+            schedule = PushBackoff(base=ack_timeout, multiplier=1.0, jitter=0.0)
+        deadline = self.sim.now + schedule.worst_case_elapsed(retries) + 0.01
         self.sim.run(until=deadline)
         return self.push_report
 

@@ -60,6 +60,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.chaos import runtime as chaos_runtime
 from repro.core.checkpoint import SweepCheckpoint
 from repro.obs import collect as obs_collect
 from repro.obs.profiling import collect as profile_collect
@@ -242,24 +243,45 @@ def _call_spec_collecting(
 
     Profiling activates first and deactivates last, so the profile's
     wall-clock denominator covers the whole point.
+
+    Legacy 4-element payloads (pre-chaos) are still accepted, so
+    checkpointed sweeps written against the old payload shape resume.
     """
-    spec, interval, trace_config, profile_config = payload
+    spec, interval, trace_config, profile_config = payload[:4]
+    chaos = invariants = None
+    if len(payload) >= 6:
+        chaos, invariants = payload[4], payload[5]
     if profile_config is not None:
         profile_collect.activate(profile_config)
     if interval is not None:
         obs_collect.activate(interval)
     if trace_config is not None:
         trace_collect.activate(trace_config)
+    if chaos is not None or invariants is not None:
+        chaos_runtime.activate(chaos=chaos, invariants=invariants)
     metric_snapshots = trace_snapshots = profile_snapshots = None
+    ok = False
     try:
         value = spec.fn(**spec.kwargs)
+        ok = True
     finally:
-        if trace_config is not None:
-            trace_snapshots = trace_collect.deactivate()
-        if interval is not None:
-            metric_snapshots = obs_collect.deactivate()
-        if profile_config is not None:
-            profile_snapshots = profile_collect.deactivate()
+        try:
+            if chaos is not None or invariants is not None:
+                # Strict only when the point succeeded: a half-finished
+                # run legitimately violates end-state invariants, and
+                # raising here would mask the original error.  A
+                # fail-fast violation found by the final sweep raises
+                # out of this deactivate; the inner finally still tears
+                # the other collectors down so a pooled worker stays
+                # reusable.
+                chaos_runtime.deactivate(strict=ok)
+        finally:
+            if trace_config is not None:
+                trace_snapshots = trace_collect.deactivate()
+            if interval is not None:
+                metric_snapshots = obs_collect.deactivate()
+            if profile_config is not None:
+                profile_snapshots = profile_collect.deactivate()
     return value, metric_snapshots, trace_snapshots, profile_snapshots
 
 
@@ -450,12 +472,16 @@ class SweepExecutor:
         point_timeout: Optional[float] = None,
         checkpoint: Union[SweepCheckpoint, str, None] = None,
         on_failure: str = ON_FAILURE_RAISE,
+        chaos: Optional[str] = None,
+        invariants: Optional[str] = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.progress = progress
         self.metrics = metrics
         self.trace = trace
         self.profile = profile
+        self.chaos = chaos
+        self.invariants = invariants
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.retries = int(retries)
@@ -481,11 +507,20 @@ class SweepExecutor:
             or self.profile is not None
         )
 
+    def _needs_activation(self) -> bool:
+        """True when points must run under an activation window.
+
+        Collectors and the chaos runtime are activated around the point
+        by :func:`_call_spec_collecting`; the serial fast path may only
+        skip it when neither is configured.
+        """
+        return self._collecting() or self.chaos is not None or self.invariants is not None
+
     def _payload(self, spec: SweepPointSpec):
         interval = self.metrics.interval if self.metrics is not None else None
         config = self.trace.config if self.trace is not None else None
         profile_config = self.profile.config if self.profile is not None else None
-        return (spec, interval, config, profile_config)
+        return (spec, interval, config, profile_config, self.chaos, self.invariants)
 
     def _deposit(
         self, label: str, metric_snapshots, trace_snapshots, profile_snapshots
@@ -552,7 +587,14 @@ class SweepExecutor:
                 self.profile.config if self.profile is not None else None
             )
             state.keys = [
-                self.checkpoint.spec_key(spec, interval, config, profile_config)
+                self.checkpoint.spec_key(
+                    spec,
+                    interval,
+                    config,
+                    profile_config,
+                    chaos=self.chaos,
+                    invariants=self.invariants,
+                )
                 for spec in state.specs
             ]
         for index, spec in enumerate(state.specs):
@@ -713,7 +755,7 @@ class SweepExecutor:
                 self._announce(index + 1, total, spec.label)
                 state.announced[index] = True
             try:
-                if self._collecting():
+                if self._needs_activation():
                     outcome = _call_spec_collecting(self._payload(spec))
                 else:
                     outcome = (_call_spec(spec), None, None, None)

@@ -19,6 +19,7 @@ import enum
 from typing import Dict
 
 from repro import calibration
+from repro.chaos import runtime as chaos_runtime
 from repro.defense.controller import DefenseConfig, MitigationController
 from repro.defense.detector import FloodDetector
 from repro.sim import units
@@ -151,6 +152,7 @@ class Testbed:
                 self.policy_server.register_agent(agent)
         if profiler is not None:
             profiler.exit()
+        chaos_runtime.attach_testbed(self)
 
     # ------------------------------------------------------------------
     # Convenience accessors

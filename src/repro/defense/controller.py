@@ -181,7 +181,8 @@ class MitigationController:
 
     def _restart_if_wedged(self, host_name: str) -> None:
         nic = self.detector.nic_for(host_name)
-        if getattr(nic, "wedged", False):
+        crashed = self.server.agent_crashed(host_name)
+        if getattr(nic, "wedged", False) or crashed:
             self.server.restart_agent(host_name)
             self.agent_restarts += 1
 

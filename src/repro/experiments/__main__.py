@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--jobs N] [--json DIR] [--metrics DIR] [--trace DIR] [--trace-sample K] [--flight-recorder] [--profile DIR] [--profile-top N] [--no-compiled-matcher] [--checkpoint DIR] [--resume] [--retries N] [--point-timeout S] [--keep-going]``."""
+"""Command-line entry point: ``python -m repro.experiments [ids] [--quick] [--preset NAME] [--jobs N] [--json DIR] [--metrics DIR] [--trace DIR] [--trace-sample K] [--flight-recorder] [--profile DIR] [--profile-top N] [--no-compiled-matcher] [--checkpoint DIR] [--resume] [--retries N] [--point-timeout S] [--keep-going] [--chaos SCENARIO] [--invariants MODE]``."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ import os
 import sys
 import time
 
+from repro.chaos.schedule import SCENARIOS as CHAOS_SCENARIOS
 from repro.core.checkpoint import SweepCheckpoint
 from repro.core.parallel import JOBS_ENV_VAR, SweepError, resolve_jobs
 from repro.firewall.compiled import set_compiled_enabled
@@ -53,6 +54,31 @@ def main(argv=None) -> int:
         "--quick",
         action="store_true",
         help="reduced grids and windows (minutes instead of tens of minutes)",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=("quick", "full"),
+        default=None,
+        help="named preset; --preset quick is equivalent to --quick",
+    )
+    parser.add_argument(
+        "--chaos",
+        metavar="SCENARIO",
+        choices=CHAOS_SCENARIOS,
+        default=None,
+        help=(
+            "arm a chaos fault scenario on every sweep point's testbed: "
+            + ", ".join(CHAOS_SCENARIOS)
+        ),
+    )
+    parser.add_argument(
+        "--invariants",
+        choices=("warn", "fail-fast"),
+        default=None,
+        help=(
+            "run the cross-layer invariant monitors on every sweep point "
+            "(warn collects violations; fail-fast raises on the first)"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -211,6 +237,9 @@ def main(argv=None) -> int:
         parser.error("--point-timeout must be > 0 seconds")
     if args.profile_top < 1:
         parser.error("--profile-top must be >= 1")
+    if args.preset is not None and args.quick and args.preset != "quick":
+        parser.error("--quick conflicts with --preset " + args.preset)
+    preset_name = args.preset or ("quick" if args.quick else "full")
 
     selected = args.ids
     if "all" in selected:
@@ -255,7 +284,7 @@ def main(argv=None) -> int:
                 resume=args.resume,
             )
         config = RunConfig(
-            preset="quick" if args.quick else "full",
+            preset=preset_name,
             progress=progress,
             jobs=jobs,
             metrics=collector,
@@ -265,6 +294,8 @@ def main(argv=None) -> int:
             retries=args.retries,
             point_timeout=args.point_timeout,
             on_failure="record" if args.keep_going else "raise",
+            chaos=args.chaos,
+            invariants=args.invariants,
         )
         try:
             result = run_experiment_result(experiment_id, config=config)

@@ -61,6 +61,14 @@ class RunConfig:
         Wall-clock seconds per point before its worker is killed.
     on_failure:
         "raise" (default) or "record" (keep going, record failures).
+    chaos:
+        Optional scenario name from
+        :data:`repro.chaos.schedule.SCENARIOS`; every sweep point then
+        runs with that fault schedule armed against its testbed.
+    invariants:
+        Optional ``"warn"``/``"fail-fast"``; every sweep point then
+        runs with the :class:`repro.chaos.invariants.InvariantMonitor`
+        suite attached.
     """
 
     preset: Union[None, str, Preset] = None
@@ -73,6 +81,8 @@ class RunConfig:
     retries: int = 0
     point_timeout: Optional[float] = None
     on_failure: str = "raise"
+    chaos: Optional[str] = None
+    invariants: Optional[str] = None
 
     def resolved_preset(self, experiment_id: str) -> Preset:
         """The concrete :class:`Preset` for ``experiment_id``."""
@@ -94,6 +104,8 @@ class RunConfig:
             retries=self.retries,
             point_timeout=self.point_timeout,
             on_failure=self.on_failure,
+            chaos=self.chaos,
+            invariants=self.invariants,
         )
 
     @classmethod

@@ -55,12 +55,37 @@ def plot_fig3b(result) -> str:
     )
 
 
+def plot_chaos(result) -> str:
+    """Chaos recovery timelines (defended points, goodput per slice)."""
+    series = []
+    for point in result.points:
+        if not point.defended or not point.recovery_slices_mbps:
+            continue
+        series.append(
+            (
+                f"{point.scenario}/{point.device}",
+                [
+                    (float(index + 1), mbps)
+                    for index, mbps in enumerate(point.recovery_slices_mbps)
+                ],
+            )
+        )
+    if not series:
+        return "(no defended points)"
+    return ascii_plot(
+        series,
+        x_label="recovery slice",
+        y_label="goodput (Mbps)",
+    )
+
+
 #: Experiment id -> plotting function (experiments without a natural
 #: line-chart rendering are absent).
 PLOTTERS = {
     "fig2": plot_fig2,
     "fig3a": plot_fig3a,
     "fig3b": plot_fig3b,
+    "chaos": plot_chaos,
 }
 
 

@@ -57,6 +57,10 @@ class Preset:
     defense_modes: Optional[Tuple[str, ...]] = None
     #: Defense modes swept on the fleet fabric (mitigation).
     fleet_defense_modes: Optional[Tuple[str, ...]] = None
+    #: Fault scenarios swept (chaos).
+    chaos_scenarios: Optional[Tuple[str, ...]] = None
+    #: Post-settle goodput windows measured per point (chaos).
+    recovery_slices: Optional[int] = None
 
     def grid(self, field_name: str, default: Any) -> Any:
         """This preset's value for one grid knob, or ``default`` if unset."""
@@ -122,6 +126,12 @@ QUICK: Dict[str, Preset] = {
         defense_modes=("off", "rate-limit", "quarantine"),
         fleet_defense_modes=("off", "quarantine"),
         fleet_sizes=(4,),
+    ),
+    "chaos": Preset(
+        name="quick",
+        settings=MeasurementSettings(duration=0.25),
+        chaos_scenarios=("none", "link-flap", "policy-outage", "compound"),
+        recovery_slices=3,
     ),
 }
 

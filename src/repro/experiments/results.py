@@ -113,8 +113,13 @@ def _build_type_registry() -> Dict[str, Type]:
     from repro.core import fleet, methodology, metrics, parallel, throughput
     from repro.defense import controller as defense_controller
     from repro.defense import detector as defense_detector
+    from repro.chaos import faults as chaos_fault_types
+    from repro.chaos import invariants as chaos_invariants
+    from repro.chaos import runtime as chaos_runtime
+    from repro.chaos import schedule as chaos_schedule
     from repro.experiments import (
         ablations,
+        chaos_faults,
         extension_hardened,
         fig2_bandwidth,
         fig3a_flood,
@@ -145,6 +150,11 @@ def _build_type_registry() -> Dict[str, Type]:
         fleet,
         fleet_flood,
         mitigation,
+        chaos_faults,
+        chaos_fault_types,
+        chaos_invariants,
+        chaos_runtime,
+        chaos_schedule,
         policy_push,
         defense_detector,
         defense_controller,

@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.experiments import (
     ablations,
+    chaos_faults,
     extension_hardened,
     fig2_bandwidth,
     fig3a_flood,
@@ -135,6 +136,11 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             "mitigation",
             "Closed-loop flood defense: detection, mitigation, recovery",
             mitigation.run,
+        ),
+        ExperimentSpec(
+            "chaos",
+            "Chaos: recovery under compound faults during a flood",
+            chaos_faults.run,
         ),
     )
 }

@@ -28,6 +28,97 @@ class FrameSink(Protocol):
         """Handle a frame delivered by the link."""
 
 
+class LinkImpairment:
+    """Chaos-injected degradation state for one link.
+
+    Installed on :attr:`Link.impairment` by the fault injector
+    (:mod:`repro.chaos`) and removed when the fault clears; a healthy
+    link pays one ``is None`` check per frame.  Three degradation modes,
+    combinable:
+
+    * ``down`` — every offered frame is dropped (link flap, port dead),
+    * ``loss_rate`` — each frame is independently dropped with this
+      probability (lossy/degraded link), drawn from the supplied
+      deterministic ``rng``,
+    * ``extra_delay`` — added to the propagation delay of every frame
+      (latency degradation),
+    * ``corrupt`` — each frame's IPv4 header is serialized, one bit is
+      flipped, and the corrupted copy rides along; the receiving NIC
+      re-verifies the RFC 1071 checksum and discards the frame (burst
+      checksum corruption at link egress).
+    """
+
+    __slots__ = (
+        "down",
+        "loss_rate",
+        "extra_delay",
+        "corrupt",
+        "rng",
+        "dropped_frames",
+        "corrupted_frames",
+    )
+
+    def __init__(
+        self,
+        down: bool = False,
+        loss_rate: float = 0.0,
+        extra_delay: float = 0.0,
+        corrupt: bool = False,
+        rng=None,
+    ):
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be within [0, 1], got {loss_rate}")
+        if extra_delay < 0:
+            raise ValueError(f"extra_delay must be >= 0, got {extra_delay}")
+        if (loss_rate > 0.0 or corrupt) and rng is None:
+            raise ValueError("probabilistic impairments need a deterministic rng")
+        self.down = down
+        self.loss_rate = loss_rate
+        self.extra_delay = extra_delay
+        self.corrupt = corrupt
+        self.rng = rng
+        self.dropped_frames = 0
+        self.corrupted_frames = 0
+
+    def admit(self, port: "LinkPort", frame: EthernetFrame) -> bool:
+        """Apply the impairment to one offered frame.
+
+        Returns False when the frame must be dropped at the port.
+        Corruption admits the frame but attaches a bit-flipped header
+        copy for the receiver's checksum verification to reject.
+        """
+        if self.down or (self.loss_rate > 0.0 and self.rng.random() < self.loss_rate):
+            self.dropped_frames += 1
+            sim = port.link.sim
+            tracer = sim.tracer
+            if tracer.hot:
+                packet = frame.ip
+                tracer.event(
+                    sim.now, port.name, "chaos-link-drop",
+                    getattr(packet, "trace_ctx", None) if packet is not None else None,
+                    down=self.down, bytes=frame.wire_size,
+                )
+            return False
+        if self.corrupt:
+            packet = frame.ip
+            if packet is not None:
+                from repro.net.packet import Ipv4Packet
+
+                raw = bytearray(packet.to_bytes()[: Ipv4Packet.HEADER_SIZE])
+                raw[self.rng.randrange(len(raw))] ^= 1 << self.rng.randrange(8)
+                frame.corrupt_header = bytes(raw)
+                self.corrupted_frames += 1
+                sim = port.link.sim
+                tracer = sim.tracer
+                if tracer.hot:
+                    tracer.event(
+                        sim.now, port.name, "chaos-corrupt",
+                        getattr(packet, "trace_ctx", None),
+                        bytes=frame.wire_size,
+                    )
+        return True
+
+
 class LinkPort:
     """One endpoint of a full-duplex link.
 
@@ -81,6 +172,10 @@ class LinkPort:
 
         Returns False (and counts a drop) if the transmit queue is full.
         """
+        impairment = self.link.impairment
+        if impairment is not None and not impairment.admit(self, frame):
+            self.dropped_frames += 1
+            return False
         tracer = self.link.sim.tracer
         if len(self._queue) >= self.queue_capacity:
             self.dropped_frames += 1
@@ -128,7 +223,11 @@ class LinkPort:
     def _transmit_complete(self, frame: EthernetFrame) -> None:
         self.tx_frames += 1
         self.tx_bytes += frame.wire_size
-        self.link.sim.schedule(self.link.propagation_delay, self._deliver, frame)
+        delay = self.link.propagation_delay
+        impairment = self.link.impairment
+        if impairment is not None:
+            delay += impairment.extra_delay
+        self.link.sim.schedule(delay, self._deliver, frame)
         self._start_next()
 
     def _deliver(self, frame: EthernetFrame) -> None:
@@ -193,6 +292,10 @@ class Link:
         self.bandwidth_bps = float(bandwidth_bps)
         self.propagation_delay = float(propagation_delay)
         self.taps: List = []
+        #: Chaos-injected degradation (:class:`LinkImpairment`), or None
+        #: for a healthy link — the only per-frame cost when no fault is
+        #: active is this attribute's ``is None`` check.
+        self.impairment: Optional[LinkImpairment] = None
         self.port_a = LinkPort(self, f"{name}.a", queue_capacity)
         self.port_b = LinkPort(self, f"{name}.b", queue_capacity)
         self.port_a.peer = self.port_b

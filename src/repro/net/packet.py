@@ -471,6 +471,12 @@ class EthernetFrame:
     ethertype: int = ETHERTYPE_IPV4
     #: Monotonic frame id assigned by the sender, for tracing.
     frame_id: int = field(default=0, compare=False)
+    #: Bit-flipped serialized IPv4 header attached by an in-flight
+    #: corruption fault (:class:`repro.net.link.LinkImpairment`); a
+    #: receiving NIC re-verifies the RFC 1071 checksum over it and
+    #: discards the frame when verification fails.  None on the healthy
+    #: path.
+    corrupt_header: Optional[bytes] = field(default=None, compare=False)
 
     @property
     def wire_size(self) -> int:

@@ -77,11 +77,18 @@ class EthernetSwitch:
         #: Kept as a set so the empty-set truthiness check keeps the
         #: unquarantined hot path at one branch per frame.
         self._quarantined: set = set()
+        #: Failed (blackholed) ports — the chaos-injected hardware
+        #: counterpart of quarantine.  Deliberately separate state so a
+        #: fault injection and a defense action on the same port never
+        #: clobber each other's bookkeeping: releasing a quarantine does
+        #: not heal a failed port, and vice versa.
+        self._failed: set = set()
         # Counters
         self.forwarded_frames = 0
         self.flooded_frames = 0
         self.dropped_frames = 0
         self.quarantined_frames = 0
+        self.blackholed_frames = 0
 
     # ------------------------------------------------------------------
 
@@ -127,6 +134,27 @@ class EthernetSwitch:
         """True while ``port`` is administratively blocked."""
         return port in self._quarantined
 
+    def fail_port(self, port: LinkPort, failed: bool = True) -> None:
+        """Blackhole (or repair) one switch port.
+
+        A failed port silently discards everything — ingress frames,
+        forwarded frames, and flood copies — modelling a dead PHY or
+        linecard rather than an administrative block (see
+        :meth:`quarantine_port` for the latter; the two states are
+        independent).  Fault injection
+        (:class:`repro.chaos.SwitchPortFail`) drives this.
+        """
+        if port not in self._ports:
+            raise ValueError(f"{port!r} is not a port of {self.name}")
+        if failed:
+            self._failed.add(port)
+        else:
+            self._failed.discard(port)
+
+    def port_is_failed(self, port: LinkPort) -> bool:
+        """True while ``port`` is blackholed by an injected fault."""
+        return port in self._failed
+
     def mac_table(self) -> Dict[MacAddress, LinkPort]:
         """A snapshot of the current (non-aged) learning table."""
         seen = self._mac_seen
@@ -148,6 +176,9 @@ class EthernetSwitch:
         """Learn the source and forward after the fabric latency."""
         if self._quarantined and port in self._quarantined:
             self.quarantined_frames += 1
+            return
+        if self._failed and port in self._failed:
+            self.blackholed_frames += 1
             return
         src = frame.src_mac
         table = self._mac_to_port
@@ -187,6 +218,9 @@ class EthernetSwitch:
                 if self._quarantined and egress in self._quarantined:
                     self.quarantined_frames += 1
                     return
+                if self._failed and egress in self._failed:
+                    self.blackholed_frames += 1
+                    return
                 self.forwarded_frames += 1
                 if not egress.send(frame):
                     self.dropped_frames += 1
@@ -198,11 +232,15 @@ class EthernetSwitch:
     def _flood(self, frame: EthernetFrame, ingress: LinkPort) -> None:
         self.flooded_frames += 1
         quarantined = self._quarantined
+        failed = self._failed
         for port in self._ports:
             if port is ingress:
                 continue
             if quarantined and port in quarantined:
                 self.quarantined_frames += 1
+                continue
+            if failed and port in failed:
+                self.blackholed_frames += 1
                 continue
             if not port.send(frame):
                 self.dropped_frames += 1

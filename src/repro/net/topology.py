@@ -100,6 +100,19 @@ class StarTopology:
         """True while the station's access port is blocked."""
         return self.switch.port_is_quarantined(self.links[station_name].port_a)
 
+    def fail_station_port(self, station_name: str, failed: bool = True) -> None:
+        """Blackhole (or repair) a station's access port at the switch.
+
+        The chaos-injected hardware failure
+        (:class:`repro.chaos.SwitchPortFail`), independent of the
+        defense quarantine state on the same port.
+        """
+        self.switch.fail_port(self.links[station_name].port_a, failed)
+
+    def station_port_failed(self, station_name: str) -> bool:
+        """True while the station's access port is blackholed."""
+        return self.switch.port_is_failed(self.links[station_name].port_a)
+
     def station_names(self) -> List[str]:
         """Names of all stations, in creation order."""
         return list(self.links)
@@ -281,6 +294,21 @@ class FabricTopology:
     def station_is_quarantined(self, station_name: str) -> bool:
         """True while the station's access port is blocked."""
         return self._station_switch[station_name].port_is_quarantined(
+            self.links[station_name].port_a
+        )
+
+    def fail_station_port(self, station_name: str, failed: bool = True) -> None:
+        """Blackhole (or repair) a station's access port at its home switch.
+
+        Same contract as :meth:`StarTopology.fail_station_port`.
+        """
+        self._station_switch[station_name].fail_port(
+            self.links[station_name].port_a, failed
+        )
+
+    def station_port_failed(self, station_name: str) -> bool:
+        """True while the station's access port is blackholed."""
+        return self._station_switch[station_name].port_is_failed(
             self.links[station_name].port_a
         )
 

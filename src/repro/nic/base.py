@@ -18,6 +18,7 @@ import itertools
 from typing import Optional
 
 from repro.net.addresses import MacAddress
+from repro.net.checksum import verify_checksum
 from repro.net.link import LinkPort
 from repro.net.packet import ArpMessage, EthernetFrame, Ipv4Packet
 from repro.obs.profiling import core as _profiling
@@ -45,12 +46,14 @@ class BaseNic:
         self.frames_received = 0
         self.frames_sent = 0
         self.packets_delivered = 0
+        self.checksum_drops = 0
         # Callback-backed instruments: read only at sample time, discarded
         # entirely by the default null registry.
         metrics = sim.metrics
         metrics.counter_fn("nic_frames_received", lambda: self.frames_received, nic=name)
         metrics.counter_fn("nic_frames_sent", lambda: self.frames_sent, nic=name)
         metrics.counter_fn("nic_packets_delivered", lambda: self.packets_delivered, nic=name)
+        metrics.counter_fn("nic_checksum_drops", lambda: self.checksum_drops, nic=name)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -131,6 +134,21 @@ class BaseNic:
             return
         packet = frame.ip
         if packet is None:
+            return
+        if frame.corrupt_header is not None and not verify_checksum(
+            frame.corrupt_header
+        ):
+            # An in-flight corruption fault flipped a header bit; the
+            # RFC 1071 re-verification catches it and the frame is
+            # discarded before the firewall engine ever sees it.
+            self.checksum_drops += 1
+            tracer = self.sim.tracer
+            if tracer.hot:
+                tracer.event(
+                    self.sim.now, self.name, "drop-checksum",
+                    getattr(packet, "trace_ctx", None),
+                    bytes=frame.wire_size,
+                )
             return
         self._process_ingress(frame, packet)
 

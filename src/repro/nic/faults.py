@@ -57,7 +57,15 @@ class DenyFloodLockupFault:
         self.rate_threshold = float(rate_threshold)
         self.window = float(window)
         self.enabled = enabled
-        self._deny_times: Deque[float] = deque()
+        # The sliding window only ever needs to hold one more timestamp
+        # than the wedge threshold (the rate test fires as soon as
+        # len/window exceeds rate_threshold), so the deque is bounded:
+        # without the cap, a deny burst followed by silence would pin up
+        # to rate_threshold x window stale timestamps per NIC for the
+        # rest of the run, since the prune only runs on deny events.
+        self._deny_times: Deque[float] = deque(
+            maxlen=int(self.rate_threshold * self.window) + 1
+        )
         self.lockups = 0
         self.locked_at: Optional[float] = None
         # Lock-up state transitions are rare, so direct counters at event

@@ -29,6 +29,8 @@ class AuditEventKind(enum.Enum):
     HEARTBEAT_RESTORED = "heartbeat-restored"
     FLOOD_DETECTED = "flood-detected"
     MITIGATION_APPLIED = "mitigation-applied"
+    CHAOS_FAULT_INJECTED = "chaos-fault-injected"
+    CHAOS_FAULT_CLEARED = "chaos-fault-cleared"
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,63 @@ ACKED = "acked"
 FAILED = "failed"
 
 
+@dataclass(frozen=True)
+class PushBackoff:
+    """Retry schedule for networked policy pushes.
+
+    Every push retry chain runs through one of these: attempt *k*
+    (0-based) waits ``base * multiplier**k`` seconds, stretched by a
+    deterministic jitter of up to ``±jitter`` (a fraction, drawn from
+    the simulation's seeded RNG so identical seeds retry at identical
+    times).  ``max_elapsed`` is the hard cutoff: when the *next* wait
+    would take the chain past that many seconds since the first send,
+    the push fails immediately instead — a dead host can stall its own
+    chain, never a fleet-wide round.
+
+    The legacy fixed schedule (resend every ``ack_timeout`` seconds) is
+    the degenerate ``PushBackoff(base=ack_timeout, multiplier=1.0,
+    jitter=0.0)``, which is what the server uses when no backoff is
+    given — byte-identical timing to the historical behaviour.
+    """
+
+    base: float
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    max_elapsed: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError(f"base must be positive, got {self.base}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be within [0, 1), got {self.jitter}")
+        if self.max_elapsed is not None and self.max_elapsed <= 0:
+            raise ValueError(f"max_elapsed must be positive, got {self.max_elapsed}")
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """The wait before resend ``attempt`` (0-based), jitter applied."""
+        delay = self.base * self.multiplier**attempt
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValueError("jittered backoff needs a deterministic rng")
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def worst_case_elapsed(self, retries: int) -> float:
+        """Upper bound on the chain's total wait for ``retries`` resends.
+
+        Fleet drivers size their "run until every push settles" deadline
+        from this; ``max_elapsed`` caps it when configured.
+        """
+        total = 0.0
+        for attempt in range(retries + 1):
+            total += self.base * self.multiplier**attempt * (1.0 + self.jitter)
+            if self.max_elapsed is not None and total >= self.max_elapsed:
+                return self.max_elapsed
+        return total
+
+
 @dataclass
 class HostPushOutcome:
     """The live record of one host's most recent policy push.
@@ -52,6 +109,9 @@ class HostPushOutcome:
     attempts: int = 1
     acked_at: Optional[float] = None
     failed_at: Optional[float] = None
+    #: The backoff trajectory: each armed resend wait, in order (the
+    #: jittered values actually used, not the nominal schedule).
+    backoff_s: List[float] = field(default_factory=list)
 
     @property
     def latency(self) -> Optional[float]:
@@ -136,6 +196,17 @@ class PushReport:
             for host, outcome in self.outcomes.items()
             if outcome.status == FAILED
         ]
+
+    def backoff_trajectory(self) -> Dict[str, List[float]]:
+        """Per-host resend waits actually armed this round.
+
+        Hosts acked on the first datagram map to an empty list; a host
+        that burned its whole chain shows every jittered wait in order.
+        """
+        return {
+            host: list(outcome.backoff_s)
+            for host, outcome in self.outcomes.items()
+        }
 
     # -- deprecated mapping view ---------------------------------------
 

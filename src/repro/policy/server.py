@@ -25,7 +25,13 @@ from repro.crypto.keys import VpgKeyStore
 from repro.firewall.ruleset import RuleSet
 from repro.policy.audit import AuditEventKind, AuditLog
 from repro.policy.groups import VpgGroup, VpgGroupManager
-from repro.policy.push import ACKED, FAILED, HostPushOutcome, PushReport
+from repro.policy.push import (
+    ACKED,
+    FAILED,
+    HostPushOutcome,
+    PushBackoff,
+    PushReport,
+)
 from repro.sim.timer import PeriodicTimer, Timer
 
 from repro.policy_ports import AGENT_PORT, HEARTBEAT_PORT  # noqa: F401  (re-export)
@@ -126,6 +132,7 @@ class PolicyServer:
         inline: bool = False,
         retries: int = 0,
         ack_timeout: Optional[float] = None,
+        backoff: Optional[PushBackoff] = None,
     ) -> HostPushOutcome:
         """Push the assigned policy to a host's NIC agent.
 
@@ -133,22 +140,32 @@ class PolicyServer:
         otherwise the push travels as UDP traffic over the simulated
         network and the agent installs it on receipt.
 
-        ``retries``/``ack_timeout`` make networked pushes reliable: if no
-        confirmation arrives within ``ack_timeout`` seconds the datagram
-        is resent (audited as ``PUSH_RETRIED``), up to ``retries`` times;
-        exhausting them audits ``PUSH_FAILED`` and counts in
+        ``retries`` with an ``ack_timeout`` or ``backoff`` make networked
+        pushes reliable: if no confirmation arrives within the scheduled
+        wait the datagram is resent (audited as ``PUSH_RETRIED``), up to
+        ``retries`` times; exhausting them — or hitting the backoff's
+        ``max_elapsed`` cutoff — audits ``PUSH_FAILED`` and counts in
         :attr:`pushes_failed`.  A flooded NIC dropping the push is
-        exactly the fleet-scale failure this covers.  The defaults
-        (``retries=0`` and no timeout) preserve the fire-and-forget
-        behaviour.
+        exactly the fleet-scale failure this covers.
+
+        Every retry chain runs through one
+        :class:`~repro.policy.push.PushBackoff`.  Passing ``backoff``
+        gets jittered exponential waits (jitter drawn from the host's
+        seeded RNG, so retry times are deterministic per seed) and the
+        ``max_elapsed`` cutoff that keeps a dead host from stalling a
+        fleet-wide round; a bare ``ack_timeout`` is the degenerate fixed
+        schedule (resend every ``ack_timeout`` seconds), timing-identical
+        to the historical behaviour.  The defaults (``retries=0`` and no
+        timeout) preserve fire-and-forget.
 
         Returns the live :class:`~repro.policy.push.HostPushOutcome`,
-        which the server updates in place as the push resolves.
+        which the server updates in place as the push resolves (its
+        ``backoff_s`` records the waits actually armed).
         """
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
-        if retries > 0 and ack_timeout is None:
-            raise ValueError("retries require an ack_timeout")
+        if retries > 0 and ack_timeout is None and backoff is None:
+            raise ValueError("retries require an ack_timeout or a backoff")
         policy_name = self._assignments.get(host_name)
         if policy_name is None:
             raise KeyError(f"host {host_name!r} has no assigned policy")
@@ -165,6 +182,12 @@ class PolicyServer:
         )
         self._push_state[host_name] = outcome
         if inline:
+            if agent.crashed:
+                # A dead agent process cannot install anything; the
+                # inline shortcut fails the same way a networked push
+                # to a crashed agent would (just without the timeout).
+                self._fail_push(host_name, policy_name, "agent-crashed")
+                return outcome
             agent.install(ruleset, self.key_store)
             outcome.status = ACKED
             outcome.acked_at = self.sim.now
@@ -179,8 +202,14 @@ class PolicyServer:
             return outcome
         agent.expect_push(policy_name, ruleset, self.key_store, self)
         self._send_push_datagram(agent, policy_name, ruleset)
-        if ack_timeout is not None:
-            self._arm_ack_timeout(host_name, policy_name, retries, ack_timeout)
+        schedule = backoff
+        if schedule is None and ack_timeout is not None:
+            schedule = PushBackoff(base=ack_timeout, multiplier=1.0, jitter=0.0)
+        if schedule is not None:
+            self._arm_ack_timeout(
+                host_name, policy_name, retries, schedule,
+                attempt=0, first_sent_at=self.sim.now,
+            )
         return outcome
 
     def push_outcome(self, host_name: str) -> Optional[HostPushOutcome]:
@@ -198,35 +227,72 @@ class PolicyServer:
         )
         socket.close()
 
+    def _backoff_rng(self, host_name: str):
+        """Deterministic jitter stream for one host's retry chain."""
+        return self.host.rng.stream(f"push-backoff:{host_name}")
+
     def _arm_ack_timeout(
-        self, host_name: str, policy_name: str, retries_left: int, ack_timeout: float
+        self,
+        host_name: str,
+        policy_name: str,
+        retries_left: int,
+        schedule: PushBackoff,
+        attempt: int,
+        first_sent_at: float,
     ) -> None:
         stale = self._awaiting_ack.pop(host_name, None)
         if stale is not None:
             stale.stop()
+        rng = self._backoff_rng(host_name) if schedule.jitter > 0.0 else None
+        delay = schedule.delay(attempt, rng)
+        outcome = self._push_state.get(host_name)
+        if outcome is not None and outcome.policy == policy_name:
+            outcome.backoff_s.append(delay)
         timer = Timer(
-            self.sim, self._push_timed_out, host_name, policy_name, retries_left, ack_timeout
+            self.sim, self._push_timed_out,
+            host_name, policy_name, retries_left, schedule, attempt, first_sent_at,
         )
-        timer.start(ack_timeout)
+        timer.start(delay)
         self._awaiting_ack[host_name] = timer
 
+    def _fail_push(self, host_name: str, policy_name: str, reason: str) -> None:
+        self.pushes_failed += 1
+        outcome = self._push_state.get(host_name)
+        if outcome is not None and outcome.policy == policy_name:
+            outcome.status = FAILED
+            outcome.failed_at = self.sim.now
+        self.audit.record(
+            self.sim.now,
+            AuditEventKind.PUSH_FAILED,
+            host_name,
+            policy=policy_name,
+            reason=reason,
+        )
+
     def _push_timed_out(
-        self, host_name: str, policy_name: str, retries_left: int, ack_timeout: float
+        self,
+        host_name: str,
+        policy_name: str,
+        retries_left: int,
+        schedule: PushBackoff,
+        attempt: int,
+        first_sent_at: float,
     ) -> None:
         self._awaiting_ack.pop(host_name, None)
-        outcome = self._push_state.get(host_name)
         if retries_left <= 0:
-            self.pushes_failed += 1
-            if outcome is not None and outcome.policy == policy_name:
-                outcome.status = FAILED
-                outcome.failed_at = self.sim.now
-            self.audit.record(
-                self.sim.now,
-                AuditEventKind.PUSH_FAILED,
-                host_name,
-                policy=policy_name,
-            )
+            self._fail_push(host_name, policy_name, "retries-exhausted")
             return
+        if schedule.max_elapsed is not None:
+            # Cutoff test uses the un-jittered nominal next wait, so the
+            # give-up decision never consumes RNG state (the trajectory
+            # of a chain that fails early stays comparable to one that
+            # runs long).
+            elapsed = self.sim.now - first_sent_at
+            next_nominal = schedule.base * schedule.multiplier ** (attempt + 1)
+            if elapsed + next_nominal > schedule.max_elapsed:
+                self._fail_push(host_name, policy_name, "max-elapsed")
+                return
+        outcome = self._push_state.get(host_name)
         self.pushes_retried += 1
         if outcome is not None and outcome.policy == policy_name:
             outcome.attempts += 1
@@ -242,20 +308,25 @@ class PolicyServer:
         self.pushes_sent += 1
         agent.expect_push(policy_name, ruleset, self.key_store, self)
         self._send_push_datagram(agent, policy_name, ruleset)
-        self._arm_ack_timeout(host_name, policy_name, retries_left - 1, ack_timeout)
+        self._arm_ack_timeout(
+            host_name, policy_name, retries_left - 1, schedule,
+            attempt=attempt + 1, first_sent_at=first_sent_at,
+        )
 
     def push_all(
         self,
         inline: bool = False,
         retries: int = 0,
         ack_timeout: Optional[float] = None,
+        backoff: Optional[PushBackoff] = None,
     ) -> PushReport:
         """Push every assigned policy; returns the round's live report."""
         report = PushReport()
         for host_name in list(self._assignments):
             report.add(
                 self.push_policy(
-                    host_name, inline=inline, retries=retries, ack_timeout=ack_timeout
+                    host_name, inline=inline, retries=retries,
+                    ack_timeout=ack_timeout, backoff=backoff,
                 )
             )
         return report
@@ -347,6 +418,15 @@ class PolicyServer:
         """True if the host's agent missed its heartbeat window."""
         return self._silent.get(host_name, False)
 
+    def agent_crashed(self, host_name: str) -> bool:
+        """True while the host's agent process is dead (chaos fault)."""
+        agent = self._agents.get(host_name)
+        return agent is not None and agent.crashed
+
+    def agent_for(self, host_name: str) -> Optional["NicAgent"]:
+        """The host's registered agent, or None."""
+        return self._agents.get(host_name)
+
     def restart_agent(self, host_name: str, repush: bool = True) -> None:
         """Restart a host's NIC agent (the EFW lockup recovery), audited.
 
@@ -431,6 +511,13 @@ class NicAgent:
         self._socket = host.udp.bind(AGENT_PORT, self._push_received)
         self._heartbeat_timer: Optional[PeriodicTimer] = None
         self.heartbeats_sent = 0
+        #: True while the agent process is dead (chaos AgentCrash): no
+        #: heartbeats, no push handling, until :meth:`restart`.
+        self.crashed = False
+        self.crashes = 0
+        #: Remembered ``start_heartbeat`` arguments so a restart can
+        #: resume the beacons a crash silenced.
+        self._heartbeat_params: Optional[tuple] = None
 
     def expect_push(self, policy_name: str, ruleset: RuleSet, key_store: VpgKeyStore, server: PolicyServer) -> None:
         """Stage a policy the server is about to push over the network.
@@ -446,9 +533,32 @@ class NicAgent:
         self.nic.install_policy(ruleset, key_store=key_store)
         self.installs += 1
 
+    def crash(self) -> None:
+        """Kill the agent process (the chaos ``AgentCrash`` fault).
+
+        Unlike the EFW deny-flood lockup — a *firmware* wedge that stops
+        the whole card — a crashed agent leaves the NIC enforcing its
+        installed policy but loses the host-side software: heartbeats
+        stop, networked pushes are never installed or acked, and inline
+        pushes fail.  Idempotent; :meth:`restart` recovers.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.stop()
+            self._heartbeat_timer = None
+
     def restart(self) -> None:
-        """Restart the agent (recovers a wedged EFW)."""
+        """Restart the agent (recovers a wedged EFW or a crashed agent)."""
         self.nic.restart_agent()
+        if self.crashed:
+            self.crashed = False
+            if self._heartbeat_params is not None and self._heartbeat_timer is None:
+                server_ip, interval = self._heartbeat_params
+                self._heartbeat_params = None
+                self.start_heartbeat(server_ip, interval)
 
     def start_heartbeat(self, server_ip, interval: float = 1.0) -> None:
         """Send periodic liveness beacons to the policy server.
@@ -458,6 +568,7 @@ class NicAgent:
         """
         if self._heartbeat_timer is not None:
             raise RuntimeError("heartbeat already started")
+        self._heartbeat_params = (server_ip, interval)
 
         def beat() -> None:
             self.heartbeats_sent += 1
@@ -476,8 +587,12 @@ class NicAgent:
         if self._heartbeat_timer is not None:
             self._heartbeat_timer.stop()
             self._heartbeat_timer = None
+        self._heartbeat_params = None
 
     def _push_received(self, src_ip, src_port, size, data) -> None:
+        if self.crashed:
+            # The datagram reaches the host, but nobody is listening.
+            return
         policy_name = data.decode("ascii", errors="replace")
         staged = self._pending.pop(policy_name, None)
         if staged is None:

@@ -65,4 +65,4 @@ class TestFigurePlotters:
 
     def test_non_figure_experiments_not_plottable(self):
         assert plot_result("table1", object()) is None
-        assert set(PLOTTERS) == {"fig2", "fig3a", "fig3b"}
+        assert set(PLOTTERS) == {"fig2", "fig3a", "fig3b", "chaos"}

@@ -1,0 +1,131 @@
+"""Tests for the jittered exponential push backoff (repro.policy.push)."""
+
+import pytest
+
+from repro.firewall.builders import deny_all
+from repro.nic.efw import EfwNic
+from repro.policy.audit import AuditEventKind
+from repro.policy.push import FAILED, PushBackoff
+from repro.policy.server import NicAgent, PolicyServer
+from repro.sim.rng import RngRegistry
+
+
+class TestPushBackoffSchedule:
+    def test_unjittered_delays_are_exponential(self):
+        schedule = PushBackoff(base=0.05, multiplier=2.0, jitter=0.0)
+        assert [schedule.delay(k) for k in range(4)] == [0.05, 0.1, 0.2, 0.4]
+
+    def test_flat_schedule_is_the_legacy_fixed_resend(self):
+        schedule = PushBackoff(base=0.05, multiplier=1.0, jitter=0.0)
+        assert [schedule.delay(k) for k in range(3)] == [0.05, 0.05, 0.05]
+
+    def test_jitter_requires_rng_and_stays_bounded(self):
+        schedule = PushBackoff(base=0.1, multiplier=2.0, jitter=0.2)
+        with pytest.raises(ValueError):
+            schedule.delay(0)
+        rng = RngRegistry(3).stream("jitter")
+        for attempt in range(6):
+            nominal = 0.1 * 2.0**attempt
+            delay = schedule.delay(attempt, rng)
+            assert nominal * 0.8 <= delay <= nominal * 1.2
+
+    def test_jitter_is_deterministic_for_a_seed(self):
+        schedule = PushBackoff(base=0.1, jitter=0.1)
+        first = [schedule.delay(k, RngRegistry(9).stream("s")) for k in range(4)]
+        second = [schedule.delay(k, RngRegistry(9).stream("s")) for k in range(4)]
+        # Fresh registry, same seed and name -> identical draws.
+        assert first != [0.1 * 2.0**k for k in range(4)]
+        assert first == second
+
+    def test_worst_case_elapsed_sums_with_jitter_headroom(self):
+        schedule = PushBackoff(base=0.1, multiplier=2.0, jitter=0.1)
+        expected = sum(0.1 * 2.0**k * 1.1 for k in range(3))
+        assert schedule.worst_case_elapsed(2) == pytest.approx(expected)
+
+    def test_worst_case_elapsed_caps_at_max_elapsed(self):
+        schedule = PushBackoff(base=0.1, multiplier=2.0, jitter=0.0, max_elapsed=0.25)
+        assert schedule.worst_case_elapsed(10) == 0.25
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PushBackoff(base=0.0)
+        with pytest.raises(ValueError):
+            PushBackoff(base=0.1, multiplier=0.5)
+        with pytest.raises(ValueError):
+            PushBackoff(base=0.1, jitter=1.0)
+        with pytest.raises(ValueError):
+            PushBackoff(base=0.1, max_elapsed=0.0)
+
+
+@pytest.fixture
+def blackholed(mininet):
+    """A push target whose datagrams all vanish on the wire."""
+    alice, bob = mininet["alice"], mininet["bob"]
+    efw = EfwNic(mininet.sim, lockup_enabled=False)
+    port = bob.nic.port
+    port.device = None
+    efw.attach(port)
+    bob.nic = None
+    bob.attach_nic(efw)
+    server = PolicyServer(alice)
+    agent = NicAgent(bob, efw)
+    server.register_agent(agent)
+    server.define_policy("p", deny_all())
+    server.assign("bob", "p")
+    server._send_push_datagram = lambda *args: None
+    return mininet, server, agent, bob
+
+
+class TestServerBackoffIntegration:
+    def test_backoff_trajectory_recorded_until_exhaustion(self, blackholed):
+        mininet, server, _, _ = blackholed
+        outcome = server.push_policy(
+            "bob",
+            inline=False,
+            retries=3,
+            backoff=PushBackoff(base=0.05, multiplier=2.0, jitter=0.0),
+        )
+        mininet.run(2.0)
+        assert outcome.status == FAILED
+        assert outcome.attempts == 4
+        assert server.pushes_retried == 3
+        assert outcome.backoff_s == [0.05, 0.1, 0.2, 0.4]
+        failures = server.audit.events(AuditEventKind.PUSH_FAILED, "bob")
+        assert [event.details["reason"] for event in failures] == [
+            "retries-exhausted"
+        ]
+
+    def test_max_elapsed_cuts_the_chain_short(self, blackholed):
+        mininet, server, _, _ = blackholed
+        outcome = server.push_policy(
+            "bob",
+            inline=False,
+            retries=10,
+            backoff=PushBackoff(
+                base=0.05, multiplier=2.0, jitter=0.0, max_elapsed=0.2
+            ),
+        )
+        mininet.run(2.0)
+        assert outcome.status == FAILED
+        # 0.05 elapsed -> next wait 0.1 fits (0.15 <= 0.2); at 0.15 the
+        # next nominal wait (0.2) would land at 0.35 > 0.2 -> give up.
+        assert outcome.backoff_s == [0.05, 0.1]
+        assert server.pushes_retried == 1
+        failures = server.audit.events(AuditEventKind.PUSH_FAILED, "bob")
+        assert [event.details["reason"] for event in failures] == ["max-elapsed"]
+
+    def test_jittered_chain_uses_the_host_seeded_stream(self, blackholed):
+        mininet, server, _, _ = blackholed
+        outcome = server.push_policy(
+            "bob",
+            inline=False,
+            retries=2,
+            backoff=PushBackoff(base=0.05, multiplier=2.0, jitter=0.1),
+        )
+        mininet.run(2.0)
+        assert outcome.status == FAILED
+        assert len(outcome.backoff_s) == 3
+        for attempt, delay in enumerate(outcome.backoff_s):
+            nominal = 0.05 * 2.0**attempt
+            assert nominal * 0.9 <= delay <= nominal * 1.1
+            assert delay != nominal

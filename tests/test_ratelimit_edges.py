@@ -1,0 +1,157 @@
+"""Edge-case tests for the ingress token bucket (repro.nic.ratelimit)."""
+
+import pytest
+
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import Ipv4Packet, UdpDatagram
+from repro.nic.ratelimit import IngressRateLimiter, TokenBucket
+from repro.policy_ports import AGENT_PORT, HEARTBEAT_PORT
+from repro.sim.engine import Simulator
+
+
+def _udp(src: str, dst: str, dst_port: int) -> Ipv4Packet:
+    return Ipv4Packet(
+        src=Ipv4Address(src),
+        dst=Ipv4Address(dst),
+        payload=UdpDatagram(src_port=40000, dst_port=dst_port),
+    )
+
+
+class TestZeroCapacity:
+    def test_zero_burst_is_rejected_not_silently_wedged(self):
+        # A zero-capacity bucket would deny everything forever — the
+        # constructor refuses it instead of shipping a black hole.
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=100.0, burst=0.0)
+
+    def test_fractional_burst_below_one_token_is_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=100.0, burst=0.999)
+
+    def test_zero_rate_is_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=0.0, burst=4.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=-5.0, burst=4.0)
+
+    def test_limiter_propagates_bucket_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            IngressRateLimiter(sim, "t.efw", rate_pps=100.0, burst=0.0)
+        with pytest.raises(ValueError):
+            IngressRateLimiter(sim, "t.efw", rate_pps=0.0)
+
+
+class TestBurstExactlyAtCapacity:
+    def test_burst_of_n_admits_exactly_n_at_one_instant(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=7.0)
+        admitted = [bucket.admit(0.0) for _ in range(9)]
+        assert admitted == [True] * 7 + [False] * 2
+
+    def test_minimum_burst_of_one_admits_exactly_one(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1.0)
+        assert bucket.admit(0.0)
+        assert not bucket.admit(0.0)
+        # Exactly one token period later the next packet fits again.
+        assert bucket.admit(0.1)
+        assert not bucket.admit(0.1)
+
+    def test_one_more_token_exactly_one_period_after_drain(self):
+        bucket = TokenBucket(rate_per_s=50.0, burst=4.0)
+        for _ in range(4):
+            assert bucket.admit(1.0)
+        assert not bucket.admit(1.0)
+        # 1/rate seconds refills exactly one token — not two, not zero.
+        assert bucket.admit(1.0 + 1.0 / 50.0)
+        assert not bucket.admit(1.0 + 1.0 / 50.0)
+
+
+class TestRefillAcrossPausedWindows:
+    """A paused processor means *no admit calls* for the whole window.
+
+    The bucket must refill purely from elapsed virtual time when the
+    next packet finally arrives — crediting min(burst, gap * rate), not
+    zero (time-loss) and not more (burst overflow).
+    """
+
+    def test_gap_refills_exactly_elapsed_times_rate(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=50.0)
+        drained = sum(1 for _ in range(60) if bucket.admit(2.0))
+        assert drained == 50
+        # Processor paused for 0.12 s: nothing calls admit.  On resume
+        # the gap is worth exactly 12 tokens.
+        resumed = 2.0 + 0.12
+        admitted = sum(1 for _ in range(20) if bucket.admit(resumed))
+        assert admitted == 12
+
+    def test_long_pause_caps_at_burst_capacity(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=8.0)
+        for _ in range(8):
+            bucket.admit(0.0)
+        # An hour-long wedge refills 3.6M tokens' worth of time but the
+        # bucket still holds only its burst capacity.
+        admitted = sum(1 for _ in range(20) if bucket.admit(3600.0))
+        assert admitted == 8
+
+    def test_two_pauses_accumulate_independently(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=5.0)
+        for _ in range(5):
+            bucket.admit(0.0)
+        assert not bucket.admit(0.0)
+        # First window: 0.3 s -> 3 tokens.
+        assert sum(1 for _ in range(5) if bucket.admit(0.3)) == 3
+        # Second window: another 0.2 s -> 2 more.
+        assert sum(1 for _ in range(5) if bucket.admit(0.5)) == 2
+
+    def test_time_never_flows_backwards(self):
+        # A stale timestamp (out-of-order delivery) must not refill.
+        bucket = TokenBucket(rate_per_s=1000.0, burst=2.0)
+        bucket.admit(1.0)
+        bucket.admit(1.0)
+        assert not bucket.admit(0.5)
+
+
+class TestControlPlaneExemptionUnderSaturation:
+    def _saturated_limiter(self):
+        sim = Simulator()
+        # Unscoped limiter (spoofed flood fallback), tiny budget.
+        limiter = IngressRateLimiter(sim, "t.efw", rate_pps=10.0, burst=2.0)
+        t = 0.0
+        while limiter.dropped == 0:
+            limiter.admit(_udp("10.0.0.9", "10.0.0.3", 7777), t)
+            t += 0.001
+        return limiter, t
+
+    def test_policy_pushes_pass_a_saturated_limiter(self):
+        limiter, t = self._saturated_limiter()
+        for i in range(50):
+            now = t + i * 0.001
+            # Keep the bucket pinned empty with flood traffic...
+            limiter.admit(_udp("10.0.0.9", "10.0.0.3", 7777), now)
+            # ...while interleaved control-plane datagrams always pass.
+            push = _udp("10.0.0.1", "10.0.0.3", AGENT_PORT)
+            beat = _udp("10.0.0.3", "10.0.0.1", HEARTBEAT_PORT)
+            assert limiter.admit(push, now)
+            assert limiter.admit(beat, now)
+
+    def test_control_traffic_never_spends_tokens(self):
+        limiter, t = self._saturated_limiter()
+        admitted_before = limiter.admitted
+        dropped_before = limiter.dropped
+        for i in range(100):
+            assert limiter.admit(_udp("10.0.0.1", "10.0.0.3", AGENT_PORT), t)
+        # Out-of-scope packets bypass the bucket entirely: neither
+        # counter moves, and the data-plane budget is unchanged.
+        assert limiter.admitted == admitted_before
+        assert limiter.dropped == dropped_before
+        assert limiter.bucket.tokens < 1.0
+
+    def test_heartbeat_source_port_is_also_exempt(self):
+        limiter, t = self._saturated_limiter()
+        reply = Ipv4Packet(
+            src=Ipv4Address("10.0.0.3"),
+            dst=Ipv4Address("10.0.0.1"),
+            payload=UdpDatagram(src_port=AGENT_PORT, dst_port=52000),
+        )
+        assert not limiter.matches(reply)
+        assert limiter.admit(reply, t)

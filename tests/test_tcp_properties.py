@@ -93,7 +93,10 @@ def test_stream_integrity_under_random_loss(drop_probability, seed, chunks):
             c.send(max(size, len(data)), data)
 
     conn.on_connected = on_connected
-    sim.run(until=30.0)
+    # Virtual time is free: leave generous headroom so an unlucky run of
+    # drops deep in RTO exponential backoff still completes (25% loss on
+    # a ~26 kB stream can push the tail retransmit well past 30 s).
+    sim.run(until=300.0)
 
     assert sum(received_sizes) == total
     # All real bytes arrive, in write order, at their exact offsets: the
